@@ -1,0 +1,26 @@
+//! The paper's nine comparison systems as execution strategies.
+//!
+//! | Strategy | Transport | Overlap | Notes |
+//! |---|---|---|---|
+//! | TP-NVLS | NVLS | none | Basic TP, `multimem.red` AllReduce |
+//! | SP-NVLS | NVLS | none | TP+SP, `ld_reduce` RS + `multimem.st` AG |
+//! | CoCoNet | ring | chunked producer | software pipelining |
+//! | FuseLib | ring | chunked producer, fused kernel | no launch overhead |
+//! | T3 | direct writes + ring AG | per-tile producer & consumer | track & trigger |
+//! | CoCoNet-NVLS | NVLS | chunked producer | |
+//! | FuseLib-NVLS | NVLS | chunked producer, fused | |
+//! | T3-NVLS | NVLS (DMA pull) | per-tile | |
+//! | LADM | none (on-demand loads) | none | locality-aware TB placement |
+//!
+//! All of them lower the same [`llm_workload::Dfg`]s the CAIS strategies
+//! consume, so every comparison in the harness is apples-to-apples on
+//! the same simulated hardware.
+
+#![warn(missing_docs)]
+
+pub mod ladm;
+pub mod producers;
+pub mod strategy;
+
+pub use ladm::LadmStrategy;
+pub use strategy::{BaselineStrategy, Overlap, Transport};

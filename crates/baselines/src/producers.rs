@@ -1,0 +1,355 @@
+//! Shared producer/consumer lowering helpers for the baselines.
+
+use cais_engine::{lower::GemmLowering, IdAlloc, PlannedKernel, Program};
+use gpu_sim::{KernelDesc, MemOp, MemOpKind, Phase, TbDesc};
+use sim_core::{Addr, GpuId, KernelId, SimDuration, TileId};
+
+/// A GEMM kernel lowered with per-output-tile completion signals, so
+/// chunk-overlapping collectives (CoCoNet/FuseLib) or per-tile triggers
+/// (T3) can consume its output incrementally.
+///
+/// The returned `tiles[mi][ni]` ids are shared across GPUs: each GPU's
+/// own TB marks the tile present on that GPU.
+pub struct TiledGemm {
+    /// Kernel ids, one per GPU.
+    pub kernel_ids: Vec<KernelId>,
+    /// Output tile signals `[m_band][n_band]`.
+    pub tiles: Vec<Vec<TileId>>,
+    /// Band geometry: `(m_tiles, n_tiles)`.
+    pub grid: (u64, u64),
+}
+
+/// Options for [`lower_tiled_gemm`].
+pub struct TiledGemmOpts<'a> {
+    /// Kernel display name.
+    pub name: &'a str,
+    /// Per-GPU GEMM dims.
+    pub m: u64,
+    /// Output columns.
+    pub n: u64,
+    /// Contraction dim.
+    pub k: u64,
+    /// Launch dependencies (same for every GPU).
+    pub after: Vec<KernelId>,
+    /// Skip launch overhead (FuseLib-style megakernel member).
+    pub fused_launch: bool,
+    /// Per-tile epilogue: given `(mi, ni, owner-of-band)` returns extra
+    /// memory ops the TB issues after computing (T3's track-&-trigger
+    /// stores; `None` for plain producers).
+    #[allow(clippy::type_complexity)]
+    pub epilogue: Option<Box<dyn Fn(u64, u64, usize) -> Vec<MemOp> + 'a>>,
+}
+
+/// Lowers a GEMM into one kernel per GPU with tile signals.
+pub fn lower_tiled_gemm(
+    prog: &mut Program,
+    ids: &mut IdAlloc,
+    low: &GemmLowering,
+    n_gpus: usize,
+    opts: TiledGemmOpts<'_>,
+) -> TiledGemm {
+    let tile = low.tiling.tile;
+    let n_mb = opts.m.div_ceil(tile);
+    let n_nb = opts.n.div_ceil(tile);
+    let mut tiles = Vec::with_capacity(n_mb as usize);
+    for _ in 0..n_mb {
+        let row: Vec<TileId> = (0..n_nb).map(|_| ids.tile()).collect();
+        tiles.push(row);
+    }
+    let mut kernel_ids = Vec::with_capacity(n_gpus);
+    for g in 0..n_gpus {
+        let mut tbs = Vec::with_capacity((n_mb * n_nb) as usize);
+        for mi in 0..n_mb {
+            let m_len = tile.min(opts.m - mi * tile);
+            for ni in 0..n_nb {
+                let n_len = tile.min(opts.n - ni * tile);
+                let mut phases = vec![
+                    Phase::Compute(low.gemm_tb_time(m_len, n_len, opts.k)),
+                    Phase::SignalTile(tiles[mi as usize][ni as usize]),
+                ];
+                if let Some(ep) = &opts.epilogue {
+                    let ops = ep(mi, ni, g);
+                    if !ops.is_empty() {
+                        phases.push(Phase::IssueMem { ops, wait: false });
+                    }
+                }
+                tbs.push(TbDesc {
+                    id: ids.tb(),
+                    order_key: mi * n_nb + ni,
+                    group: None,
+                    pre_launch_sync: false,
+                    phases,
+                });
+            }
+        }
+        let kid = ids.kernel();
+        let mut desc = KernelDesc::new(kid, opts.name.to_string(), tbs);
+        desc.fused_launch = opts.fused_launch;
+        prog.push(PlannedKernel {
+            gpu: GpuId(g as u16),
+            desc,
+            after: opts.after.clone(),
+        });
+        kernel_ids.push(kid);
+    }
+    TiledGemm {
+        kernel_ids,
+        tiles,
+        grid: (n_mb, n_nb),
+    }
+}
+
+/// Maps a collective chunk (`shard`, byte offset, byte len over a
+/// row-major `[rows, cols]` tensor sharded by rows) to the producer
+/// bands whose tiles must be present before the chunk may be injected.
+pub fn bands_for_chunk(
+    rows: u64,
+    cols: u64,
+    elem: u64,
+    p: u64,
+    tile: u64,
+    shard: usize,
+    off: u64,
+    len: u64,
+) -> std::ops::Range<u64> {
+    let row_bytes = cols * elem;
+    let shard_row0 = shard as u64 * rows / p;
+    let start_row = shard_row0 + off / row_bytes;
+    let end_row = shard_row0 + (off + len).div_ceil(row_bytes);
+    let n_mb = rows.div_ceil(tile);
+    (start_row / tile)..(end_row.div_ceil(tile)).min(n_mb)
+}
+
+/// Builds `input[gpu][global_chunk]` gating from producer tile signals.
+pub fn chunk_input_tiles(
+    chunks: &[(usize, u64, u64)],
+    tiles: &[Vec<TileId>],
+    rows: u64,
+    cols: u64,
+    elem: u64,
+    p: usize,
+    tile: u64,
+) -> Vec<Vec<Vec<TileId>>> {
+    let per_chunk: Vec<Vec<TileId>> = chunks
+        .iter()
+        .map(|&(shard, off, len)| {
+            let bands = bands_for_chunk(rows, cols, elem, p as u64, tile, shard, off, len);
+            bands
+                .flat_map(|mi| tiles[mi as usize].iter().copied())
+                .collect()
+        })
+        .collect();
+    (0..p).map(|_| per_chunk.clone()).collect()
+}
+
+/// A "consumer GEMM" whose row bands are gated on gather-output tiles
+/// (`gates[gpu][mi]` — tile presence is tracked per GPU, so each GPU
+/// gates on the tiles that materialize locally), used by T3's AG-GEMM
+/// overlap; pass empty `gates` for an ungated grid.
+#[allow(clippy::too_many_arguments)]
+pub fn lower_gated_gemm(
+    prog: &mut Program,
+    ids: &mut IdAlloc,
+    low: &GemmLowering,
+    n_gpus: usize,
+    name: &str,
+    m: u64,
+    n: u64,
+    k: u64,
+    after: Vec<KernelId>,
+    gates: &[Vec<Vec<TileId>>],
+) -> Vec<KernelId> {
+    let tile = low.tiling.tile;
+    let n_mb = m.div_ceil(tile);
+    let n_nb = n.div_ceil(tile);
+    let mut kernel_ids = Vec::with_capacity(n_gpus);
+    for g in 0..n_gpus {
+        let mut tbs = Vec::with_capacity((n_mb * n_nb) as usize);
+        for mi in 0..n_mb {
+            let m_len = tile.min(m - mi * tile);
+            for ni in 0..n_nb {
+                let n_len = tile.min(n - ni * tile);
+                let id = ids.tb();
+                tbs.push(TbDesc {
+                    id,
+                    order_key: mi * n_nb + ni,
+                    group: None,
+                    pre_launch_sync: false,
+                    phases: vec![Phase::Compute(low.gemm_tb_time(m_len, n_len, k))],
+                });
+                if !gates.is_empty() {
+                    prog.tb_ready_deps
+                        .insert(id, gates[g][mi as usize].clone());
+                }
+            }
+        }
+        let kid = ids.kernel();
+        let mut desc = KernelDesc::new(kid, name.to_string(), tbs);
+        desc.tbs_auto_ready = gates.is_empty();
+        prog.push(PlannedKernel {
+            gpu: GpuId(g as u16),
+            desc,
+            after: after.clone(),
+        });
+        kernel_ids.push(kid);
+    }
+    kernel_ids
+}
+
+/// Convenience: a direct reduction epilogue for T3-style track & trigger.
+/// Each output tile is pushed to its row-shard owner: remote GPUs write
+/// a counted contribution, the owner accumulates locally.
+#[allow(clippy::too_many_arguments)]
+pub fn t3_epilogue(
+    addrs: Vec<Vec<Addr>>,
+    red_tiles: Vec<Vec<TileId>>,
+    tile_bytes: u64,
+    n_mb: u64,
+    p: u64,
+) -> impl Fn(u64, u64, usize) -> Vec<MemOp> {
+    move |mi, ni, g| {
+        let owner = ((mi * p) / n_mb) as usize;
+        let addr = addrs[mi as usize][ni as usize];
+        let rtile = red_tiles[mi as usize][ni as usize];
+        if g == owner {
+            // Local accumulate (no fabric traffic).
+            vec![MemOp {
+                kind: MemOpKind::RemoteReduce,
+                addr,
+                bytes: tile_bytes,
+                cais: true, // local-accumulate semantics in the engine
+                tile: Some(rtile),
+            }]
+        } else {
+            vec![MemOp {
+                kind: MemOpKind::RemoteWrite,
+                addr,
+                bytes: tile_bytes,
+                cais: false,
+                tile: Some(rtile),
+            }]
+        }
+    }
+}
+
+/// Small waiter kernel per GPU gated on `gates[g]` — gives barriered
+/// baselines a kernel whose completion means "this GPU's share of the
+/// data arrived".
+pub fn waiter_kernels(
+    prog: &mut Program,
+    ids: &mut IdAlloc,
+    n_gpus: usize,
+    name: &str,
+    gates: &[Vec<TileId>],
+    after: Vec<KernelId>,
+) -> Vec<KernelId> {
+    let mut out = Vec::with_capacity(n_gpus);
+    for (g, gate) in gates.iter().enumerate().take(n_gpus) {
+        let id = ids.tb();
+        let tb = TbDesc {
+            id,
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::Compute(SimDuration::from_ns(100))],
+        };
+        prog.tb_ready_deps.insert(id, gate.clone());
+        let kid = ids.kernel();
+        let mut desc = KernelDesc::new(kid, format!("{name}.wait"), vec![tb]);
+        desc.tbs_auto_ready = false;
+        desc.fused_launch = true;
+        prog.push(PlannedKernel {
+            gpu: GpuId(g as u16),
+            desc,
+            after: after.clone(),
+        });
+        out.push(kid);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_engine::SystemConfig;
+    use gpu_sim::KernelCost;
+
+    fn low() -> GemmLowering {
+        let cfg = SystemConfig::dgx_h100();
+        GemmLowering::new(KernelCost::new(&cfg.gpu), 128, 2)
+    }
+
+    #[test]
+    fn tiled_gemm_signals_every_tile() {
+        let mut prog = Program::new();
+        let mut ids = IdAlloc::new(2);
+        let g = lower_tiled_gemm(
+            &mut prog,
+            &mut ids,
+            &low(),
+            2,
+            TiledGemmOpts {
+                name: "gemm",
+                m: 256,
+                n: 384,
+                k: 512,
+                after: vec![],
+                fused_launch: false,
+                epilogue: None,
+            },
+        );
+        assert_eq!(g.grid, (2, 3));
+        assert_eq!(g.tiles.len(), 2);
+        assert_eq!(g.tiles[0].len(), 3);
+        assert_eq!(prog.kernels.len(), 2);
+        assert_eq!(prog.kernels[0].desc.tbs.len(), 6);
+        assert!(prog.validate().is_ok());
+    }
+
+    #[test]
+    fn bands_for_chunk_maps_rows() {
+        // 1024 rows x 512 cols x 2B, p=4 => shard = 256 rows = 256KiB.
+        // Chunk at shard 1, offset 0, 64KiB => rows 256..320 => bands 2..3
+        // (tile=128).
+        let r = bands_for_chunk(1024, 512, 2, 4, 128, 1, 0, 64 * 1024);
+        assert_eq!(r, 2..3);
+        // Chunk crossing a band boundary.
+        let r = bands_for_chunk(1024, 512, 2, 4, 128, 0, 96 * 1024, 64 * 1024);
+        // rows 96..160 => bands 0..2
+        assert_eq!(r, 0..2);
+    }
+
+    #[test]
+    fn chunk_input_tiles_cover_chunks() {
+        let chunks = vec![(0usize, 0u64, 64 * 1024u64), (1, 0, 64 * 1024)];
+        let tiles: Vec<Vec<TileId>> = (0..8).map(|i| vec![TileId(i)]).collect();
+        let input = chunk_input_tiles(&chunks, &tiles, 1024, 512, 2, 4, 128);
+        assert_eq!(input.len(), 4);
+        assert_eq!(input[0].len(), 2);
+        assert!(!input[0][0].is_empty());
+    }
+
+    #[test]
+    fn gated_gemm_registers_ready_deps() {
+        let mut prog = Program::new();
+        let mut ids = IdAlloc::new(2);
+        let gates: Vec<Vec<Vec<TileId>>> = (0..2)
+            .map(|g| (0..2).map(|i| vec![TileId(g * 2 + i)]).collect())
+            .collect();
+        let kids = lower_gated_gemm(
+            &mut prog,
+            &mut ids,
+            &low(),
+            2,
+            "gemm",
+            256,
+            128,
+            128,
+            vec![],
+            &gates,
+        );
+        assert_eq!(kids.len(), 2);
+        assert!(!prog.kernels[0].desc.tbs_auto_ready);
+        assert_eq!(prog.tb_ready_deps.len(), 2 * 2);
+    }
+}

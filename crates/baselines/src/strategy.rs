@@ -1,0 +1,642 @@
+//! The configurable baseline strategy covering TP-NVLS, SP-NVLS,
+//! CoCoNet, FuseLib, T3 and their NVLS-enhanced variants.
+
+use crate::producers::{
+    chunk_input_tiles, lower_gated_gemm, lower_tiled_gemm, t3_epilogue, waiter_kernels,
+    TiledGemm, TiledGemmOpts,
+};
+use cais_engine::{
+    lower::GemmLowering, IdAlloc, Msg, PlannedKernel, Program, Strategy, SystemConfig,
+};
+use gpu_sim::KernelCost;
+use llm_workload::{CollKind, Dfg, NodeId, NodeKind};
+use noc_sim::{PureRouter, SwitchLogic};
+use nvls::{
+    nvls_all_gather, nvls_all_reduce, nvls_reduce_scatter, ring_all_gather, ring_all_reduce,
+    ring_reduce_scatter, CollOutput, InputTiles, NvlsLogic,
+};
+use sim_core::{GpuId, KernelId, TileId};
+
+/// How collectives travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// GPU-driven ring schedules through a plain routing switch.
+    Ring,
+    /// NVLink-SHARP in-switch collectives.
+    Nvls,
+}
+
+/// How much compute/communication overlap the scheduler extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlap {
+    /// None: strict kernel phases with global barriers (TP-NVLS, SP-NVLS).
+    None,
+    /// CoCoNet/FuseLib: the collective consumes the *producer* GEMM's
+    /// output chunk-by-chunk; the consumer still waits for the whole
+    /// collective. `fused` additionally removes kernel-launch overhead.
+    Chunked {
+        /// FuseLib-style single fused kernel (no launch overhead).
+        fused: bool,
+    },
+    /// T3: per-tile track-&-trigger. GEMM→RS becomes direct in-flight
+    /// stores as tiles complete; AG output gates the consumer GEMM's row
+    /// bands (our AG-GEMM extension of T3, per the paper's methodology).
+    Tile,
+}
+
+/// A baseline execution strategy.
+///
+/// ```no_run
+/// use cais_baselines::BaselineStrategy;
+/// use cais_engine::{strategy::execute, SystemConfig};
+/// use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+///
+/// let cfg = SystemConfig::dgx_h100();
+/// let dfg = transformer_layer(
+///     &ModelConfig::llama_7b(), cfg.tp(), TpMode::BasicTp, Pass::Forward);
+/// let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
+/// println!("TP-NVLS layer time: {}", report.total);
+/// ```
+#[derive(Debug)]
+pub struct BaselineStrategy {
+    name: String,
+    transport: Transport,
+    overlap: Overlap,
+}
+
+impl BaselineStrategy {
+    /// Basic TP with NVLS collectives (run on a Basic-TP graph).
+    pub fn tp_nvls() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "TP-NVLS".into(),
+            transport: Transport::Nvls,
+            overlap: Overlap::None,
+        }
+    }
+
+    /// TP with sequence parallelism and NVLS collectives (run on an SP
+    /// graph).
+    pub fn sp_nvls() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "SP-NVLS".into(),
+            transport: Transport::Nvls,
+            overlap: Overlap::None,
+        }
+    }
+
+    /// CoCoNet: ring collectives, chunked producer overlap.
+    pub fn coconet() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "CoCoNet".into(),
+            transport: Transport::Ring,
+            overlap: Overlap::Chunked { fused: false },
+        }
+    }
+
+    /// FuseLib: ring collectives fused into the producer kernel.
+    pub fn fuselib() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "FuseLib".into(),
+            transport: Transport::Ring,
+            overlap: Overlap::Chunked { fused: true },
+        }
+    }
+
+    /// T3: hardware track-&-trigger fine-grained overlap, no NVLS.
+    pub fn t3() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "T3".into(),
+            transport: Transport::Ring,
+            overlap: Overlap::Tile,
+        }
+    }
+
+    /// CoCoNet with NVLS collectives.
+    pub fn coconet_nvls() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "CoCoNet-NVLS".into(),
+            transport: Transport::Nvls,
+            overlap: Overlap::Chunked { fused: false },
+        }
+    }
+
+    /// FuseLib with NVLS collectives.
+    pub fn fuselib_nvls() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "FuseLib-NVLS".into(),
+            transport: Transport::Nvls,
+            overlap: Overlap::Chunked { fused: true },
+        }
+    }
+
+    /// T3 with DMA-based NVLS reductions.
+    pub fn t3_nvls() -> BaselineStrategy {
+        BaselineStrategy {
+            name: "T3-NVLS".into(),
+            transport: Transport::Nvls,
+            overlap: Overlap::Tile,
+        }
+    }
+}
+
+struct Ctx<'a> {
+    cfg: &'a SystemConfig,
+    cost: KernelCost,
+    low: GemmLowering,
+    ids: IdAlloc,
+    prog: Program,
+    /// Previous stage's kernels (global barrier set).
+    prev: Vec<KernelId>,
+    /// Tile signals of the previous node when it was a tiled GEMM
+    /// (chunk/tile overlap input), plus its logical dims and the launch
+    /// dependencies the producer itself used (so an overlapping
+    /// collective can launch alongside it).
+    prev_gemm: Option<(TiledGemm, u64, u64)>,
+    prev_gemm_after: Vec<KernelId>,
+    /// Output tiles of the previous collective (gates the consumer for
+    /// T3-style AG-GEMM overlap): `gates[gpu][band]` over `rows`.
+    prev_coll_gates: Option<(Vec<Vec<Vec<TileId>>>, u64)>,
+}
+
+impl Strategy for BaselineStrategy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn lower(&self, dfg: &Dfg, cfg: &SystemConfig) -> Program {
+        let cost = KernelCost::new(&cfg.gpu);
+        let mut ctx = Ctx {
+            cfg,
+            low: GemmLowering::new(KernelCost::new(&cfg.gpu), cfg.tile, dfg.elem_bytes),
+            cost,
+            ids: IdAlloc::new(cfg.n_gpus),
+            prog: Program::new(),
+            prev: Vec::new(),
+            prev_gemm: None,
+            prev_gemm_after: Vec::new(),
+            prev_coll_gates: None,
+        };
+        for id in dfg.ids() {
+            match &dfg.node(id).kind {
+                NodeKind::Collective { kind, rows, cols } => {
+                    self.lower_collective(&mut ctx, dfg, id, *kind, *rows, *cols)
+                }
+                _ => self.lower_compute(&mut ctx, dfg, id),
+            }
+        }
+        let prog = ctx.prog;
+        debug_assert!(prog.validate().is_ok());
+        prog
+    }
+
+    fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>> {
+        match self.transport {
+            Transport::Ring => Box::new(PureRouter),
+            Transport::Nvls => Box::new(NvlsLogic::new(cfg.n_gpus)),
+        }
+    }
+}
+
+impl BaselineStrategy {
+    fn lower_compute(&self, ctx: &mut Ctx, dfg: &Dfg, id: NodeId) {
+        let node = dfg.node(id);
+        let overlapping = !matches!(self.overlap, Overlap::None);
+        match &node.kind {
+            NodeKind::Gemm { m, n, k } => {
+                // Does a collective consume this GEMM directly? Then emit
+                // tile signals (chunk/tile overlap) or T3 epilogues.
+                let feeds_collective = dfg.consumers(id).into_iter().any(|c| {
+                    matches!(dfg.node(c).kind, NodeKind::Collective { .. })
+                });
+                // Is this GEMM consuming a just-gathered tensor (T3
+                // AG-GEMM overlap)?
+                let gates = ctx.prev_coll_gates.take();
+                if self.overlap == Overlap::Tile && gates.is_some() {
+                    let (gates, _rows) = gates.expect("checked");
+                    // Band gating carries the true data dependencies; an
+                    // empty `after` lets early bands start while the tail
+                    // of the gather is still in flight.
+                    let after = Vec::new();
+                    let kids = lower_gated_gemm(
+                        &mut ctx.prog,
+                        &mut ctx.ids,
+                        &ctx.low,
+                        ctx.cfg.n_gpus,
+                        &format!("gemm.{}", node.name),
+                        *m,
+                        *n,
+                        *k,
+                        after,
+                        &gates,
+                    );
+                    ctx.prev = kids;
+                    ctx.prev_gemm = None;
+                    return;
+                }
+                if overlapping && feeds_collective {
+                    let after = ctx.prev.clone();
+                    ctx.prev_gemm_after = after.clone();
+                    let fused = matches!(self.overlap, Overlap::Chunked { fused: true });
+                    let tg = lower_tiled_gemm(
+                        &mut ctx.prog,
+                        &mut ctx.ids,
+                        &ctx.low,
+                        ctx.cfg.n_gpus,
+                        TiledGemmOpts {
+                            name: &format!("gemm.{}", node.name),
+                            m: *m,
+                            n: *n,
+                            k: *k,
+                            after,
+                            fused_launch: fused,
+                            epilogue: None,
+                        },
+                    );
+                    ctx.prev = tg.kernel_ids.clone();
+                    ctx.prev_gemm = Some((tg, *m, *n));
+                    return;
+                }
+                self.plain_node(ctx, dfg, id);
+            }
+            _ => self.plain_node(ctx, dfg, id),
+        }
+    }
+
+    fn plain_node(&self, ctx: &mut Ctx, dfg: &Dfg, id: NodeId) {
+        let node = dfg.node(id);
+        let after = ctx.prev.clone();
+        let mut kids = Vec::with_capacity(ctx.cfg.n_gpus);
+        for g in 0..ctx.cfg.n_gpus {
+            let kid = ctx.ids.kernel();
+            let desc = ctx.low.plain_compute_kernel(
+                &mut ctx.ids,
+                kid,
+                &node.name,
+                GpuId(g as u16),
+                &node.kind,
+                ctx.cfg.gpu.sm_count,
+            );
+            ctx.prog.push(PlannedKernel {
+                gpu: GpuId(g as u16),
+                desc,
+                after: after.clone(),
+            });
+            kids.push(kid);
+        }
+        ctx.prev = kids;
+        ctx.prev_gemm = None;
+        ctx.prev_coll_gates = None;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_collective(
+        &self,
+        ctx: &mut Ctx,
+        dfg: &Dfg,
+        id: NodeId,
+        kind: CollKind,
+        rows: u64,
+        cols: u64,
+    ) {
+        let elem = dfg.elem_bytes;
+        let bytes_full = rows * cols * elem;
+        let name = dfg.node(id).name.replace('.', "_");
+
+        // T3-style fused GEMM→RS: direct stores from the producer's tile
+        // epilogues replace the collective kernel entirely.
+        if self.overlap == Overlap::Tile
+            && matches!(kind, CollKind::ReduceScatter | CollKind::AllReduce)
+            && ctx.prev_gemm.is_some()
+        {
+            self.lower_t3_reduce(ctx, kind, rows, cols, elem, &name);
+            return;
+        }
+
+        // Chunk-level producer gating for CoCoNet/FuseLib.
+        let input: Option<InputTiles> = match (&self.overlap, &ctx.prev_gemm) {
+            (Overlap::Chunked { .. }, Some((tg, m, n))) => {
+                let chunks = nvls::ring::global_chunks(
+                    bytes_full,
+                    ctx.cfg.n_gpus,
+                    ctx.cfg.coll_chunk_bytes,
+                );
+                Some(chunk_input_tiles(
+                    &chunks,
+                    &tg.tiles,
+                    *m,
+                    *n,
+                    elem,
+                    ctx.cfg.n_gpus,
+                    ctx.cfg.tile,
+                ))
+            }
+            _ => None,
+        };
+
+        // With chunk gating the collective launches alongside the
+        // producer (tiles pace it); otherwise it waits for the barrier.
+        let after: Vec<KernelId> = if input.is_some() {
+            ctx.prev_gemm_after.clone()
+        } else {
+            ctx.prev.clone()
+        };
+        let out: CollOutput = match (self.transport, kind) {
+            (Transport::Ring, CollKind::AllGather) => ring_all_gather(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+            (Transport::Ring, CollKind::ReduceScatter) => ring_reduce_scatter(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+            (Transport::Ring, CollKind::AllReduce) => ring_all_reduce(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+            (Transport::Nvls, CollKind::AllGather) => nvls_all_gather(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+            (Transport::Nvls, CollKind::ReduceScatter) => nvls_reduce_scatter(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+            (Transport::Nvls, CollKind::AllReduce) => nvls_all_reduce(
+                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
+                &after, input.as_ref(),
+            ),
+        };
+
+        // T3 consumes AllGather output per band; everyone else barriers.
+        if self.overlap == Overlap::Tile && kind == CollKind::AllGather {
+            let gates = self.band_gates_from_chunks(ctx, &out, rows, cols, elem);
+            ctx.prev_coll_gates = Some((gates, rows));
+        } else {
+            ctx.prev_coll_gates = None;
+        }
+        // Downstream consumers barrier on the collective; when it ran
+        // alongside the producer, keep the producer in the barrier set
+        // too (its kernels may outlive the last gated chunk injection).
+        let mut next_prev = out.kernel_ids;
+        if input.is_some() {
+            next_prev.extend(ctx.prev.iter().copied());
+        }
+        ctx.prev = next_prev;
+        ctx.prev_gemm = None;
+    }
+
+    /// Converts a collective's per-chunk arrival tiles into per-GPU,
+    /// per-row-band gates for a downstream GEMM: GPU `g`'s band `mi`
+    /// waits for the arrival (on `g`) of every chunk overlapping the
+    /// band. Chunks local to `g` from the start have no arrival tile and
+    /// impose no wait.
+    fn band_gates_from_chunks(
+        &self,
+        ctx: &Ctx,
+        out: &CollOutput,
+        rows: u64,
+        cols: u64,
+        elem: u64,
+    ) -> Vec<Vec<Vec<TileId>>> {
+        let p = ctx.cfg.n_gpus as u64;
+        let tile = ctx.cfg.tile;
+        let n_mb = rows.div_ceil(tile);
+        let row_bytes = cols * elem;
+        let mut gates: Vec<Vec<Vec<TileId>>> =
+            vec![vec![Vec::new(); n_mb as usize]; ctx.cfg.n_gpus];
+        for (gidx, &(shard, off, len)) in out.chunks.iter().enumerate() {
+            let shard_row0 = shard as u64 * rows / p;
+            let start = shard_row0 + off / row_bytes;
+            let end = shard_row0 + (off + len).div_ceil(row_bytes);
+            for mi in (start / tile)..(end.div_ceil(tile)).min(n_mb) {
+                for (g, arrival) in out.chunk_arrivals[gidx].iter().enumerate() {
+                    if let Some(t) = arrival {
+                        gates[g][mi as usize].push(*t);
+                    }
+                }
+            }
+        }
+        for per_gpu in &mut gates {
+            for band in per_gpu {
+                band.sort_unstable();
+                band.dedup();
+            }
+        }
+        gates
+    }
+
+    fn lower_t3_reduce(
+        &self,
+        ctx: &mut Ctx,
+        kind: CollKind,
+        rows: u64,
+        cols: u64,
+        elem: u64,
+        name: &str,
+    ) {
+        let p = ctx.cfg.n_gpus as u64;
+        let tile = ctx.cfg.tile;
+        let n_mb = rows.div_ceil(tile);
+        let n_nb = cols.div_ceil(tile);
+        let tile_bytes = tile * tile * elem;
+        let (tg, m, n) = ctx.prev_gemm.take().expect("caller checked");
+        // Re-lower the producer with a track-&-trigger epilogue: remove is
+        // impossible, so instead we *replace* by noting the producer was
+        // already emitted without an epilogue... To keep lowering
+        // single-pass, the producer GEMM feeding a T3 reduction is
+        // re-emitted here with its epilogue, and the original tiled GEMM
+        // kernels double as the "trigger tracking" producer. In practice
+        // the paper's T3 writes tiles as they complete; we model that by
+        // attaching per-tile writes gated on the producer's tile signals.
+        let _ = (m, n);
+        let mut addrs = Vec::with_capacity(n_mb as usize);
+        let mut red_tiles = Vec::with_capacity(n_mb as usize);
+        for mi in 0..n_mb {
+            let owner = GpuId(((mi * p) / n_mb) as u16);
+            let mut arow = Vec::with_capacity(n_nb as usize);
+            let mut trow = Vec::with_capacity(n_nb as usize);
+            for _ni in 0..n_nb {
+                arow.push(ctx.ids.addr(owner, tile_bytes));
+                let t = ctx.ids.tile();
+                ctx.prog.tile_expected.insert(t, p as u32);
+                trow.push(t);
+            }
+            addrs.push(arow);
+            red_tiles.push(trow);
+        }
+        // Trigger kernel per GPU: one TB per output tile, gated on the
+        // producer's tile signal, firing the direct store.
+        let ep = t3_epilogue(addrs, red_tiles.clone(), tile_bytes, n_mb, p);
+        let mut trigger_kids = Vec::with_capacity(ctx.cfg.n_gpus);
+        for g in 0..ctx.cfg.n_gpus {
+            let mut tbs = Vec::new();
+            for mi in 0..n_mb {
+                for ni in 0..n_nb {
+                    let id = ctx.ids.tb();
+                    tbs.push(gpu_sim::TbDesc {
+                        id,
+                        order_key: mi * n_nb + ni,
+                        group: None,
+                        pre_launch_sync: false,
+                        phases: vec![
+                            gpu_sim::Phase::Compute(sim_core::SimDuration::from_ns(100)),
+                            gpu_sim::Phase::IssueMem {
+                                ops: ep(mi, ni, g),
+                                wait: false,
+                            },
+                        ],
+                    });
+                    ctx.prog
+                        .tb_ready_deps
+                        .insert(id, vec![tg.tiles[mi as usize][ni as usize]]);
+                }
+            }
+            let kid = ctx.ids.kernel();
+            let mut desc = gpu_sim::KernelDesc::new(kid, format!("t3.{name}"), tbs);
+            desc.tbs_auto_ready = false;
+            desc.fused_launch = true;
+            ctx.prog.push(PlannedKernel {
+                gpu: GpuId(g as u16),
+                desc,
+                after: ctx.prev.clone(),
+            });
+            trigger_kids.push(kid);
+        }
+        // Waiters: the reduced shard is ready at its owner.
+        let mut owner_gates: Vec<Vec<TileId>> = vec![Vec::new(); ctx.cfg.n_gpus];
+        for mi in 0..n_mb {
+            let owner = ((mi * p) / n_mb) as usize;
+            owner_gates[owner].extend(red_tiles[mi as usize].iter().copied());
+        }
+        let wait_kids = waiter_kernels(
+            &mut ctx.prog,
+            &mut ctx.ids,
+            ctx.cfg.n_gpus,
+            &format!("t3.{name}"),
+            &owner_gates,
+            trigger_kids.clone(),
+        );
+        // AllReduce under T3: the gather half still runs as a ring AG.
+        if kind == CollKind::AllReduce {
+            let out = ring_all_gather(
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &format!("{name}_ag"),
+                rows * cols * elem,
+                &wait_kids,
+                None,
+            );
+            ctx.prev = out.kernel_ids;
+        } else {
+            ctx.prev = wait_kids;
+        }
+        ctx.prev_coll_gates = None;
+        ctx.prev_gemm = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_engine::strategy::execute;
+    use llm_workload::{sublayer, transformer_layer, ModelConfig, Pass, SubLayer, TpMode};
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::dgx_h100();
+        cfg.n_gpus = 4;
+        cfg.n_planes = 2;
+        cfg.fabric = noc_sim::FabricConfig::default_for(4, 2);
+        cfg.coll_chunk_bytes = 128 * 1024;
+        // Keep scheduling noise well below the comparison signal at this
+        // reduced scale.
+        cfg.gpu.dispatch_jitter = sim_core::SimDuration::from_us(1);
+        cfg.gpu.launch_skew = sim_core::SimDuration::from_us(2);
+        cfg.gpu.compute_jitter = sim_core::SimDuration::from_ns(200);
+        cfg
+    }
+
+    fn small_model() -> ModelConfig {
+        ModelConfig {
+            hidden: 2048,
+            ffn_hidden: 4096,
+            heads: 16,
+            seq_len: 1024,
+            batch: 2,
+            ..ModelConfig::llama_7b()
+        }
+    }
+
+    #[test]
+    fn all_baselines_run_a_sublayer() {
+        let cfg = small_cfg();
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        for s in [
+            BaselineStrategy::sp_nvls(),
+            BaselineStrategy::coconet(),
+            BaselineStrategy::fuselib(),
+            BaselineStrategy::t3(),
+            BaselineStrategy::coconet_nvls(),
+            BaselineStrategy::fuselib_nvls(),
+            BaselineStrategy::t3_nvls(),
+        ] {
+            let report = execute(&s, &dfg, &cfg);
+            assert!(
+                report.total > sim_core::SimDuration::from_us(10),
+                "{} too fast: {}",
+                s.name(),
+                report.total
+            );
+        }
+    }
+
+    #[test]
+    fn tp_nvls_runs_a_basic_layer() {
+        let cfg = small_cfg();
+        let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
+        let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
+        assert!(report.stat("nvls.reductions").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn sp_nvls_runs_an_sp_layer() {
+        let cfg = small_cfg();
+        let dfg = transformer_layer(&small_model(), 4, TpMode::SeqPar, Pass::Forward);
+        let report = execute(&BaselineStrategy::sp_nvls(), &dfg, &cfg);
+        assert!(report.stat("nvls.multicasts").unwrap_or(0.0) > 0.0);
+        assert!(report.stat("nvls.pulls").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn nvls_variants_beat_ring_variants_on_allreduce() {
+        // NVLS halves AllReduce volume (push-reduce + multicast vs. ring's
+        // 2(p-1)/p in each direction), so the win shows on Basic TP. On
+        // RS+AG sub-layers the bottleneck direction moves the same bytes
+        // either way, and NVLS's advantage is latency, not volume.
+        let cfg = small_cfg();
+        let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
+        let ring = execute(&BaselineStrategy::coconet(), &dfg, &cfg);
+        let nvls = execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg);
+        assert!(
+            nvls.total < ring.total,
+            "NVLS {} should beat ring {}",
+            nvls.total,
+            ring.total
+        );
+    }
+
+    #[test]
+    fn overlap_beats_no_overlap() {
+        let cfg = small_cfg();
+        let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
+        let barriered = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
+        let overlapped = execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg);
+        assert!(
+            overlapped.total < barriered.total,
+            "overlap {} vs barrier {}",
+            overlapped.total,
+            barriered.total
+        );
+    }
+}

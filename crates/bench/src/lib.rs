@@ -1,0 +1,13 @@
+//! Benchmark crate: see `benches/experiments.rs` (one Criterion target
+//! per paper table/figure, each printing the regenerated table once and
+//! then timing the simulation) and `benches/simulator.rs` (microbenches
+//! of the event engine, fabric and merge unit).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p cais-bench
+//! ```
+
+/// Re-exported so benches share one place for the reduced benchmark scale.
+pub use cais_harness::runner::Scale;

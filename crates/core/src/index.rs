@@ -1,0 +1,166 @@
+//! Static index analysis for compiler-guided TB grouping (paper Fig. 8a).
+//!
+//! During CUDA-to-PTX lowering, CAIS's compiler inspects the address
+//! expression of every memory access. If the expression does **not**
+//! depend on the GPU id, corresponding thread blocks (same `blockIdx`) on
+//! different GPUs access the same address — they are mergeable and should
+//! form a TB group. This module provides the expression language and the
+//! invariance analysis.
+
+use std::fmt;
+
+/// A symbolic address expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    Const(i64),
+    /// The thread block index (identical for corresponding TBs on
+    /// different GPUs).
+    BlockIdx,
+    /// The thread index within the block.
+    ThreadIdx,
+    /// The GPU (rank) id — the one term that varies across devices.
+    GpuId,
+    /// A kernel parameter, identified by slot; `gpu_variant` records
+    /// whether the host passes different values per GPU (e.g. a shard
+    /// base pointer).
+    Param {
+        /// Parameter slot.
+        slot: u32,
+        /// True when the host passes per-GPU values.
+        gpu_variant: bool,
+    },
+    /// Sum of two subexpressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Product of two subexpressions.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// True when the expression evaluates to the same value on every GPU
+    /// given identical `blockIdx`/`threadIdx` — the merge-eligibility
+    /// criterion of the CAIS compiler pass.
+    pub fn is_gpu_invariant(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::BlockIdx | Expr::ThreadIdx => true,
+            Expr::GpuId => false,
+            Expr::Param { gpu_variant, .. } => !gpu_variant,
+            Expr::Add(a, b) | Expr::Mul(a, b) => a.is_gpu_invariant() && b.is_gpu_invariant(),
+        }
+    }
+
+    /// Evaluates the expression for a concrete (gpu, block, thread).
+    pub fn eval(&self, gpu: i64, block: i64, thread: i64, params: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::BlockIdx => block,
+            Expr::ThreadIdx => thread,
+            Expr::GpuId => gpu,
+            Expr::Param { slot, .. } => params[*slot as usize],
+            Expr::Add(a, b) => {
+                a.eval(gpu, block, thread, params) + b.eval(gpu, block, thread, params)
+            }
+            Expr::Mul(a, b) => {
+                a.eval(gpu, block, thread, params) * b.eval(gpu, block, thread, params)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::BlockIdx => write!(f, "blockIdx"),
+            Expr::ThreadIdx => write!(f, "threadIdx"),
+            Expr::GpuId => write!(f, "gpuId"),
+            Expr::Param { slot, .. } => write!(f, "param{slot}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `base + blockIdx * 128` — the canonical AG-GEMM operand address:
+    /// identical across GPUs, hence mergeable.
+    fn gathered_row_addr() -> Expr {
+        Expr::add(
+            Expr::Param {
+                slot: 0,
+                gpu_variant: false,
+            },
+            Expr::mul(Expr::BlockIdx, Expr::Const(128)),
+        )
+    }
+
+    /// `base + gpuId * shard + blockIdx * 128` — a shard-local address:
+    /// differs per GPU, not mergeable.
+    fn shard_local_addr() -> Expr {
+        Expr::add(
+            Expr::add(
+                Expr::Param {
+                    slot: 0,
+                    gpu_variant: false,
+                },
+                Expr::mul(Expr::GpuId, Expr::Const(1 << 20)),
+            ),
+            Expr::mul(Expr::BlockIdx, Expr::Const(128)),
+        )
+    }
+
+    #[test]
+    fn gathered_access_is_invariant() {
+        assert!(gathered_row_addr().is_gpu_invariant());
+    }
+
+    #[test]
+    fn shard_access_is_variant() {
+        assert!(!shard_local_addr().is_gpu_invariant());
+    }
+
+    #[test]
+    fn gpu_variant_param_is_variant() {
+        let e = Expr::Param {
+            slot: 1,
+            gpu_variant: true,
+        };
+        assert!(!e.is_gpu_invariant());
+    }
+
+    #[test]
+    fn invariance_matches_evaluation() {
+        // Property: a gpu-invariant expression evaluates identically on
+        // every GPU for the same block/thread.
+        let params = vec![4096, 7];
+        let inv = gathered_row_addr();
+        let var = shard_local_addr();
+        for block in 0..16 {
+            let vals: Vec<i64> = (0..8).map(|g| inv.eval(g, block, 0, &params)).collect();
+            assert!(vals.windows(2).all(|w| w[0] == w[1]));
+            let vals: Vec<i64> = (0..8).map(|g| var.eval(g, block, 0, &params)).collect();
+            assert!(vals.windows(2).any(|w| w[0] != w[1]));
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            format!("{}", gathered_row_addr()),
+            "(param0 + (blockIdx * 128))"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The CAIS PTX-level instruction extension (paper Fig. 4).
+//!
+//! CAIS extends the load and reduction instruction formats with a 1-bit
+//! **CAIS flag** that marks a memory request as eligible for in-switch
+//! merging. The flag travels with the request packet; everything else in
+//! the instruction is unchanged, so existing computation semantics are
+//! untouched. This module models the instruction encoding so the
+//! lowering pipeline has a concrete artifact to emit and the tests can
+//! pin the wire format.
+
+use sim_core::Addr;
+use std::fmt;
+
+/// Width of the size field (log2 of access size, 128 B .. 32 MiB).
+const SIZE_BITS: u32 = 18;
+/// Bit position of the CAIS eligibility flag.
+const CAIS_FLAG_BIT: u32 = 63;
+/// Bit position of the opcode bit (0 = load, 1 = reduction).
+const OP_BIT: u32 = 62;
+
+/// A CAIS-extended memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaisInstr {
+    /// `ld.cais` — pull-mode remote read, mergeable at the switch.
+    Ld {
+        /// Target global address.
+        addr: Addr,
+        /// Access size in bytes.
+        bytes: u64,
+    },
+    /// `red.cais` — push-mode reduction contribution, mergeable at the
+    /// switch.
+    Red {
+        /// Accumulation address.
+        addr: Addr,
+        /// Contribution size in bytes.
+        bytes: u64,
+    },
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The CAIS flag was not set: not a CAIS instruction.
+    NotCais,
+    /// Size field does not round-trip (value too large at encode time).
+    BadSize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotCais => write!(f, "CAIS flag bit not set"),
+            DecodeError::BadSize => write!(f, "size field out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl CaisInstr {
+    /// The instruction's target address.
+    pub fn addr(self) -> Addr {
+        match self {
+            CaisInstr::Ld { addr, .. } | CaisInstr::Red { addr, .. } => addr,
+        }
+    }
+
+    /// The access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            CaisInstr::Ld { bytes, .. } | CaisInstr::Red { bytes, .. } => bytes,
+        }
+    }
+
+    /// PTX-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CaisInstr::Ld { .. } => "ld.cais",
+            CaisInstr::Red { .. } => "red.cais",
+        }
+    }
+
+    /// Encodes into the 64-bit auxiliary descriptor word: CAIS flag,
+    /// opcode, size field and the low address bits that fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the size-field range.
+    pub fn encode(self) -> u64 {
+        let bytes = self.bytes();
+        assert!(
+            bytes > 0 && bytes < (1u64 << SIZE_BITS),
+            "access size {bytes} outside encodable range"
+        );
+        let op = match self {
+            CaisInstr::Ld { .. } => 0u64,
+            CaisInstr::Red { .. } => 1u64,
+        };
+        let addr_field = self.addr().0 & ((1u64 << 44) - 1);
+        (1u64 << CAIS_FLAG_BIT) | (op << OP_BIT) | ((bytes) << 44) | addr_field
+    }
+
+    /// Decodes a descriptor word (inverse of [`CaisInstr::encode`] for
+    /// addresses that fit the 44-bit field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::NotCais`] when the flag bit is clear.
+    pub fn decode(word: u64) -> Result<CaisInstr, DecodeError> {
+        if word >> CAIS_FLAG_BIT == 0 {
+            return Err(DecodeError::NotCais);
+        }
+        let bytes = (word >> 44) & ((1u64 << SIZE_BITS) - 1);
+        if bytes == 0 {
+            return Err(DecodeError::BadSize);
+        }
+        let addr = Addr((word) & ((1u64 << 44) - 1));
+        Ok(if (word >> OP_BIT) & 1 == 0 {
+            CaisInstr::Ld { addr, bytes }
+        } else {
+            CaisInstr::Red { addr, bytes }
+        })
+    }
+}
+
+impl fmt::Display for CaisInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}], {}B", self.mnemonic(), self.addr(), self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::GpuId;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in [
+            CaisInstr::Ld {
+                addr: Addr::new(GpuId(3), 0x4_0000),
+                bytes: 32 * 1024,
+            },
+            CaisInstr::Red {
+                addr: Addr::new(GpuId(7), 0x80),
+                bytes: 128,
+            },
+        ] {
+            let word = instr.encode();
+            assert_eq!(CaisInstr::decode(word), Ok(instr));
+        }
+    }
+
+    #[test]
+    fn non_cais_word_rejected() {
+        assert_eq!(CaisInstr::decode(0x1234), Err(DecodeError::NotCais));
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        let ld = CaisInstr::Ld {
+            addr: Addr::new(GpuId(0), 0),
+            bytes: 128,
+        };
+        assert_eq!(ld.mnemonic(), "ld.cais");
+        assert!(format!("{ld}").starts_with("ld.cais"));
+        let red = CaisInstr::Red {
+            addr: Addr::new(GpuId(0), 0),
+            bytes: 128,
+        };
+        assert_eq!(red.mnemonic(), "red.cais");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside encodable range")]
+    fn oversized_access_panics() {
+        let _ = CaisInstr::Ld {
+            addr: Addr::new(GpuId(0), 0),
+            bytes: 1 << 20,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn flag_bit_is_the_top_bit() {
+        let w = CaisInstr::Ld {
+            addr: Addr::new(GpuId(0), 0),
+            bytes: 128,
+        }
+        .encode();
+        assert_eq!(w >> 63, 1, "CAIS flag must be bit 63");
+    }
+}

@@ -1,0 +1,990 @@
+//! CAIS execution strategies: lowering dataflow graphs into
+//! compute-aware in-switch programs.
+//!
+//! Three published variants plus ablation knobs:
+//!
+//! * **CAIS** — full system: merge unit + TB coordination + graph-level
+//!   dataflow optimizer + traffic control.
+//! * **CAIS-Partial** — no traffic control (Figs. 15–16).
+//! * **CAIS-Base** — compute-aware ISA and merge unit only: collectives
+//!   are still folded into compute kernels as `red.cais`/`ld.cais`, but
+//!   operators execute as isolated phases with coarse barriers, requests
+//!   are uncoordinated, and there is no asymmetric overlap.
+//!
+//! # Lowering scheme
+//!
+//! A fused pipeline `GEMM → RS/AR → (LN…)* → [AG] → GEMM` becomes:
+//!
+//! * producer GEMM TBs compute an output tile and `red.cais` it (split
+//!   into switch-packet-sized pieces) toward the row's shard owner;
+//! * middle TBs on the owner run per row band as soon as that band's
+//!   reduction tiles land, then notify the other GPUs with an empty
+//!   write;
+//! * consumer GEMM TBs launch per row band as soon as the band is
+//!   notified; non-owners `ld.cais` the band's operand tiles (merged in
+//!   the switch: one fetch, `p - 1` replies), owners read locally.
+//!
+//! Producer and consumer kernels are in flight simultaneously, so the
+//! reduce-heavy upstream and load-heavy downstream traffic overlap —
+//! the paper's asymmetric kernel overlapping.
+
+use crate::coordination::{coordinate_row, CoordinationOpts};
+use crate::dataflow::{self, Stage};
+use crate::index::Expr;
+use crate::logic::CaisLogic;
+use crate::merge::MergeConfig;
+use cais_engine::{
+    lower::GemmLowering, IdAlloc, Msg, PlannedKernel, Program, Strategy, SystemConfig,
+};
+use gpu_sim::{KernelCost, KernelDesc, MemOp, MemOpKind, Phase, ReadyPolicy, TbDesc};
+use llm_workload::{CollKind, Dfg, NodeId, NodeKind};
+use noc_sim::SwitchLogic;
+use sim_core::{GpuId, KernelId, SimDuration, TileId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Published CAIS variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaisVariant {
+    /// Full CAIS.
+    Full,
+    /// No traffic control.
+    Partial,
+    /// No coordination, no dataflow optimizer.
+    Base,
+}
+
+/// The paper's Merging Table provisioning: 320 entries per port (40 KB at
+/// its 128 B line granularity). The *entry count* is the architectural
+/// parameter; the byte capacity follows the merge granularity, so at this
+/// simulator's coarser packets the same 320 entries hold more bytes.
+pub const MERGE_TABLE_ENTRIES: u64 = 320;
+
+/// Default `red.cais` split granularity (simulation packet size standing
+/// in for the hardware's 128 B lines; see DESIGN.md).
+pub const DEFAULT_PACKET_BYTES: u64 = 8 * 1024;
+
+/// The CAIS strategy with ablation knobs.
+///
+/// ```no_run
+/// use cais_core::CaisStrategy;
+/// use cais_engine::{strategy::execute, SystemConfig};
+/// use llm_workload::{sublayer, ModelConfig, SubLayer};
+///
+/// let cfg = SystemConfig::dgx_h100();
+/// let dfg = sublayer(&ModelConfig::llama_7b(), cfg.tp(), SubLayer::L1);
+/// let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+/// println!("end-to-end: {}", report.total);
+/// ```
+#[derive(Debug)]
+pub struct CaisStrategy {
+    name: String,
+    coordination: CoordinationOpts,
+    /// Graph-level dataflow optimizer on/off (TB-level fusion and
+    /// asymmetric overlap vs. coarse per-operator barriers).
+    fused: bool,
+    /// Separate virtual channels for load vs. reduction traffic.
+    traffic_control: bool,
+    /// Merging-table capacity per port; `None` = derive from
+    /// [`MERGE_TABLE_ENTRIES`] at the current packet granularity,
+    /// `Some(None)` = unbounded, `Some(Some(b))` = explicit bytes.
+    merge_table_bytes: Option<Option<u64>>,
+    /// Merge-entry forward-progress timeout.
+    timeout: SimDuration,
+    /// Split granularity for `red.cais` traffic (switch packet size).
+    cais_packet_bytes: u64,
+    /// Throttle-credit override for ablations (`Some(None)` disables
+    /// throttling even when the coordination option is on).
+    credits_override: Option<Option<usize>>,
+    /// Filled during lowering; consumed by `switch_logic`.
+    group_expected: RefCell<HashMap<sim_core::GroupId, u32>>,
+}
+
+impl CaisStrategy {
+    /// Builds one of the published variants.
+    pub fn new(variant: CaisVariant) -> CaisStrategy {
+        let (name, coordination, fused, traffic_control) = match variant {
+            CaisVariant::Full => ("CAIS", CoordinationOpts::full(), true, true),
+            CaisVariant::Partial => ("CAIS-Partial", CoordinationOpts::full(), true, false),
+            CaisVariant::Base => ("CAIS-Base", CoordinationOpts::none(), false, false),
+        };
+        CaisStrategy {
+            name: name.to_string(),
+            coordination,
+            fused,
+            traffic_control,
+            merge_table_bytes: None,
+            timeout: SimDuration::from_us(30),
+            cais_packet_bytes: DEFAULT_PACKET_BYTES,
+            credits_override: None,
+            group_expected: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Full CAIS.
+    pub fn full() -> CaisStrategy {
+        CaisStrategy::new(CaisVariant::Full)
+    }
+
+    /// CAIS without traffic control.
+    pub fn partial() -> CaisStrategy {
+        CaisStrategy::new(CaisVariant::Partial)
+    }
+
+    /// CAIS-Base.
+    pub fn base() -> CaisStrategy {
+        CaisStrategy::new(CaisVariant::Base)
+    }
+
+    /// Overrides the coordination mechanisms (Fig. 13b ablation ladder).
+    pub fn with_coordination(mut self, name: &str, opts: CoordinationOpts) -> CaisStrategy {
+        self.coordination = opts;
+        self.name = format!("CAIS[{name}]");
+        self
+    }
+
+    /// Overrides the merging-table capacity in bytes (`None` = unbounded;
+    /// used by the Fig. 13a/14 sweeps). Without this override the table
+    /// holds [`MERGE_TABLE_ENTRIES`] packet-sized sessions per port, the
+    /// paper's 320-entry provisioning at the simulator's granularity.
+    pub fn with_merge_table(mut self, bytes: Option<u64>) -> CaisStrategy {
+        self.merge_table_bytes = Some(bytes);
+        self
+    }
+
+    /// The byte capacity the merge table will use (per port).
+    pub fn merge_table_capacity(&self) -> Option<u64> {
+        match self.merge_table_bytes {
+            Some(explicit) => explicit,
+            None => Some(MERGE_TABLE_ENTRIES * (self.cais_packet_bytes + 16)),
+        }
+    }
+
+    /// Overrides the forward-progress timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> CaisStrategy {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Overrides the `red.cais` split granularity (design-space ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_packet_bytes(mut self, bytes: u64) -> CaisStrategy {
+        assert!(bytes > 0, "packet size must be positive");
+        self.cais_packet_bytes = bytes;
+        self
+    }
+
+    /// Overrides the per-plane throttle credits (`None` = unthrottled).
+    pub fn with_credits(mut self, credits: Option<usize>) -> CaisStrategy {
+        self.credits_override = Some(credits);
+        self
+    }
+
+    fn shard_owner(&self, mi: u64, n_mb: u64, p: u64) -> GpuId {
+        GpuId(((mi * p) / n_mb) as u16)
+    }
+}
+
+/// Mutable lowering state threaded through the per-stage routines.
+struct LowerCtx<'a> {
+    cfg: &'a SystemConfig,
+    ids: IdAlloc,
+    low: GemmLowering,
+    prog: Program,
+    /// Last stage's output kernel per GPU (local chaining).
+    prev_local: Vec<Option<KernelId>>,
+    /// Last stage's output kernels on all GPUs (global barriers).
+    prev_all: Vec<KernelId>,
+}
+
+impl<'a> LowerCtx<'a> {
+    fn p(&self) -> usize {
+        self.cfg.n_gpus
+    }
+
+    fn after_for(&self, gpu: usize, fused: bool) -> Vec<KernelId> {
+        if fused {
+            self.prev_local[gpu].into_iter().collect()
+        } else {
+            self.prev_all.clone()
+        }
+    }
+
+    fn push_kernel(
+        &mut self,
+        gpu: usize,
+        name: &str,
+        tbs: Vec<TbDesc>,
+        after: Vec<KernelId>,
+        auto_ready: bool,
+    ) -> KernelId {
+        let kid = self.ids.kernel();
+        let mut desc = KernelDesc::new(kid, name.to_string(), tbs);
+        desc.tbs_auto_ready = auto_ready;
+        self.prog.push(PlannedKernel {
+            gpu: GpuId(gpu as u16),
+            desc,
+            after,
+        });
+        kid
+    }
+
+    fn set_stage_output(&mut self, per_gpu: Vec<KernelId>) {
+        self.prev_all = per_gpu.clone();
+        for (g, k) in per_gpu.into_iter().enumerate() {
+            self.prev_local[g] = Some(k);
+        }
+    }
+}
+
+impl Strategy for CaisStrategy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tune(&self, cfg: &mut SystemConfig) {
+        if self.coordination.grouping {
+            cfg.gpu.ready_policy = ReadyPolicy::GroupOrdered;
+        }
+        cfg.fabric.traffic_control = self.traffic_control;
+        if self.coordination.throttling {
+            cfg.cais_credits_per_plane = Some(64);
+        }
+        if let Some(credits) = self.credits_override {
+            cfg.cais_credits_per_plane = credits;
+        }
+    }
+
+    fn lower(&self, dfg: &Dfg, cfg: &SystemConfig) -> Program {
+        self.group_expected.borrow_mut().clear();
+        let plan = dataflow::plan(dfg);
+        let mut ctx = LowerCtx {
+            cfg,
+            ids: IdAlloc::new(cfg.n_gpus),
+            low: GemmLowering::new(KernelCost::new(&cfg.gpu), cfg.tile, dfg.elem_bytes),
+            prog: Program::new(),
+            prev_local: vec![None; cfg.n_gpus],
+            prev_all: Vec::new(),
+        };
+        for stage in &plan.stages {
+            match stage {
+                Stage::Node(id) => self.lower_node(&mut ctx, dfg, *id),
+                Stage::GatherGemm { gather, consumer } => {
+                    self.lower_gather_gemm(&mut ctx, dfg, *gather, *consumer)
+                }
+                Stage::Pipeline {
+                    producer,
+                    reduce,
+                    middle,
+                    gather,
+                    consumer,
+                } => self.lower_pipeline(
+                    &mut ctx, dfg, *producer, *reduce, middle, *gather, *consumer,
+                ),
+            }
+        }
+        let prog = ctx.prog;
+        debug_assert!(prog.validate().is_ok());
+        prog
+    }
+
+    fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>> {
+        let merge_cfg = MergeConfig {
+            n_gpus: cfg.n_gpus,
+            table_bytes_per_port: self.merge_table_capacity(),
+            entry_overhead_bytes: 16,
+            timeout: self.timeout,
+        };
+        Box::new(
+            CaisLogic::new(cfg.n_gpus, merge_cfg)
+                .with_group_expected(self.group_expected.borrow().clone()),
+        )
+    }
+}
+
+impl CaisStrategy {
+    /// A plain (non-fused) node: one kernel per GPU.
+    fn lower_node(&self, ctx: &mut LowerCtx, dfg: &Dfg, id: NodeId) {
+        let node = dfg.node(id);
+        if let NodeKind::Collective { kind, rows, cols } = &node.kind {
+            self.lower_standalone_collective(ctx, dfg, &node.name, *kind, *rows, *cols);
+            return;
+        }
+        let mut out = Vec::with_capacity(ctx.p());
+        for g in 0..ctx.p() {
+            let kid = ctx.ids.kernel();
+            let desc = ctx.low.plain_compute_kernel(
+                &mut ctx.ids,
+                kid,
+                &node.name,
+                GpuId(g as u16),
+                &node.kind,
+                ctx.cfg.gpu.sm_count,
+            );
+            let after = ctx.after_for(g, self.fused);
+            ctx.prog.push(PlannedKernel {
+                gpu: GpuId(g as u16),
+                desc,
+                after,
+            });
+            out.push(kid);
+        }
+        ctx.set_stage_output(out);
+    }
+
+    /// Fallback: a collective with no fusable neighbours, still executed
+    /// with CAIS memory semantics but as its own kernel.
+    fn lower_standalone_collective(
+        &self,
+        ctx: &mut LowerCtx,
+        dfg: &Dfg,
+        name: &str,
+        kind: CollKind,
+        rows: u64,
+        cols: u64,
+    ) {
+        let p = ctx.p() as u64;
+        let elem = dfg.elem_bytes;
+        let bytes_full = rows * cols * elem;
+        let shard = bytes_full / p;
+        let pkt = self.cais_packet_bytes;
+        let mut per_gpu_tbs: Vec<Vec<TbDesc>> = (0..ctx.p()).map(|_| Vec::new()).collect();
+        match kind {
+            CollKind::ReduceScatter | CollKind::AllReduce => {
+                // Every GPU pushes its partial of every shard via red.cais;
+                // for AllReduce each GPU then ld.cais-gathers the rest.
+                for s in 0..p {
+                    let owner = GpuId(s as u16);
+                    for (ci, (off, len)) in
+                        cais_engine::lower::chunk_ranges(shard, pkt).into_iter().enumerate()
+                    {
+                        let addr = ctx.ids.addr(owner, len);
+                        let _ = off;
+                        let tile = ctx.ids.tile();
+                        ctx.prog.tile_expected.insert(tile, p as u32);
+                        let mut row: Vec<TbDesc> = (0..ctx.p())
+                            .map(|_g| TbDesc {
+                                id: ctx.ids.tb(),
+                                order_key: (s * 4096 + ci as u64) * 4 + 0,
+                                group: None,
+                                pre_launch_sync: false,
+                                phases: vec![
+                                    Phase::Compute(SimDuration::from_ns(200)),
+                                    Phase::IssueMem {
+                                        ops: vec![MemOp {
+                                            kind: MemOpKind::RemoteReduce,
+                                            addr,
+                                            bytes: len,
+                                            cais: true,
+                                            tile: Some(tile),
+                                        }],
+                                        wait: false,
+                                    },
+                                ],
+                            })
+                            .collect();
+                        {
+                            let mut refs: Vec<&mut TbDesc> = row.iter_mut().collect();
+                            if let Some(grp) = coordinate_row(
+                                &mut ctx.ids,
+                                &self.coordination,
+                                &mut refs,
+                                &Expr::mul(Expr::BlockIdx, Expr::Const(pkt as i64)),
+                            ) {
+                                self.group_expected
+                                    .borrow_mut()
+                                    .insert(grp, ctx.p() as u32);
+                            }
+                        }
+                        for (g, tb) in row.into_iter().enumerate() {
+                            per_gpu_tbs[g].push(tb);
+                        }
+                        // Owner-side waiter so the kernel completes when
+                        // the reduction lands; gatherers for AllReduce.
+                        let wid = ctx.ids.tb();
+                        per_gpu_tbs[owner.index()].push(TbDesc {
+                            id: wid,
+                            order_key: (s * 4096 + ci as u64) * 4 + 1,
+                            group: None,
+                            pre_launch_sync: false,
+                            phases: vec![Phase::Compute(SimDuration::from_ns(100))],
+                        });
+                        ctx.prog.tb_ready_deps.insert(wid, vec![tile]);
+                        if kind == CollKind::AllReduce {
+                            for g in 0..ctx.p() {
+                                if g == owner.index() {
+                                    continue;
+                                }
+                                let lid = ctx.ids.tb();
+                                let gtile = ctx.ids.tile();
+                                per_gpu_tbs[g].push(TbDesc {
+                                    id: lid,
+                                    order_key: (s * 4096 + ci as u64) * 4 + 2,
+                                    group: None,
+                                    pre_launch_sync: false,
+                                    phases: vec![Phase::IssueMem {
+                                        ops: vec![MemOp {
+                                            kind: MemOpKind::RemoteLoad,
+                                            addr,
+                                            bytes: len,
+                                            cais: true,
+                                            tile: Some(gtile),
+                                        }],
+                                        wait: true,
+                                    }],
+                                });
+                                ctx.prog.tb_ready_deps.insert(lid, vec![tile]);
+                            }
+                        }
+                    }
+                }
+            }
+            CollKind::AllGather => {
+                for s in 0..p {
+                    let owner = GpuId(s as u16);
+                    for (ci, (_off, len)) in
+                        cais_engine::lower::chunk_ranges(shard, pkt).into_iter().enumerate()
+                    {
+                        let addr = ctx.ids.addr(owner, len);
+                        let tile = ctx.ids.tile();
+                        for g in 0..ctx.p() {
+                            if g == owner.index() {
+                                continue;
+                            }
+                            let lid = ctx.ids.tb();
+                            per_gpu_tbs[g].push(TbDesc {
+                                id: lid,
+                                order_key: s * 4096 + ci as u64,
+                                group: None,
+                                pre_launch_sync: false,
+                                phases: vec![Phase::IssueMem {
+                                    ops: vec![MemOp {
+                                        kind: MemOpKind::RemoteLoad,
+                                        addr,
+                                        bytes: len,
+                                        cais: true,
+                                        tile: Some(tile),
+                                    }],
+                                    wait: true,
+                                }],
+                            });
+                            ctx.prog.tb_ready_deps.insert(lid, vec![]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(ctx.p());
+        for (g, tbs) in per_gpu_tbs.into_iter().enumerate() {
+            let after = ctx.after_for(g, false);
+            // Dependency-gated kernels need every TB in the ready map
+            // (an absent entry would never become dispatchable).
+            for tb in &tbs {
+                ctx.prog.tb_ready_deps.entry(tb.id).or_default();
+            }
+            let kid = ctx.push_kernel(g, &format!("coll.{name}"), tbs, after, false);
+            out.push(kid);
+        }
+        ctx.set_stage_output(out);
+    }
+
+    /// AllGather feeding a GEMM: gathered operand rows are pulled with
+    /// `ld.cais` by the consuming GEMM's thread blocks.
+    fn lower_gather_gemm(
+        &self,
+        ctx: &mut LowerCtx,
+        dfg: &Dfg,
+        gather: NodeId,
+        consumer: NodeId,
+    ) {
+        let NodeKind::Gemm { m, n, k } = dfg.node(consumer).kind else {
+            panic!("GatherGemm consumer must be a GEMM");
+        };
+        let name = dfg.node(consumer).name.clone();
+        let _ = gather;
+        // Remote reads require the producer data to exist on every GPU:
+        // global barrier on the previous stage (the communication-centric
+        // boundary CAIS cannot remove without tiles from the producer).
+        let after_all = ctx.prev_all.clone();
+        let out = self.emit_ag_gemm_kernels(ctx, &name, m, n, k, None, after_all);
+        ctx.set_stage_output(out);
+    }
+
+    /// The fused pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn lower_pipeline(
+        &self,
+        ctx: &mut LowerCtx,
+        dfg: &Dfg,
+        producer: NodeId,
+        reduce: NodeId,
+        middle: &[NodeId],
+        gather: Option<NodeId>,
+        consumer: Option<NodeId>,
+    ) {
+        let p = ctx.p() as u64;
+        let elem = dfg.elem_bytes;
+        let tile = ctx.cfg.tile;
+        let NodeKind::Gemm {
+            m: pm,
+            n: pn,
+            k: pk,
+        } = dfg.node(producer).kind
+        else {
+            panic!("pipeline producer must be a GEMM");
+        };
+        let NodeKind::Collective { rows, cols, .. } = dfg.node(reduce).kind else {
+            panic!("pipeline reduce must be a collective");
+        };
+        debug_assert_eq!((pm, pn), (rows, cols), "producer output feeds the reduce");
+
+        let n_mb = rows.div_ceil(tile);
+        let n_nb = cols.div_ceil(tile);
+        let tile_bytes = tile * tile * elem;
+        let n_sub = tile_bytes.div_ceil(self.cais_packet_bytes).max(1);
+
+        // ---- producer GEMM with red.cais epilogue --------------------
+        // Reduction tile per (mi, ni) at the shard owner; addresses are
+        // identical from every GPU (gpu-invariant), hence mergeable.
+        let mut red_tiles: Vec<Vec<TileId>> = Vec::with_capacity(n_mb as usize);
+        let mut red_addrs = Vec::with_capacity(n_mb as usize);
+        for mi in 0..n_mb {
+            let owner = self.shard_owner(mi, n_mb, p);
+            let mut row_tiles = Vec::with_capacity(n_nb as usize);
+            let mut row_addrs = Vec::with_capacity(n_nb as usize);
+            for _ni in 0..n_nb {
+                let t = ctx.ids.tile();
+                ctx.prog
+                    .tile_expected
+                    .insert(t, (n_sub * p) as u32);
+                row_tiles.push(t);
+                row_addrs.push(ctx.ids.addr(owner, tile_bytes));
+            }
+            red_tiles.push(row_tiles);
+            red_addrs.push(row_addrs);
+        }
+
+        let mut producer_tbs: Vec<Vec<TbDesc>> = (0..ctx.p()).map(|_| Vec::new()).collect();
+        for mi in 0..n_mb {
+            let m_len = tile.min(rows - mi * tile);
+            for ni in 0..n_nb {
+                let n_len = tile.min(cols - ni * tile);
+                let t_compute = ctx.low.gemm_tb_time(m_len, n_len, pk);
+                let addr = red_addrs[mi as usize][ni as usize];
+                let rtile = red_tiles[mi as usize][ni as usize];
+                let ops: Vec<MemOp> = (0..n_sub)
+                    .map(|si| {
+                        let off = si * self.cais_packet_bytes;
+                        let len = self.cais_packet_bytes.min(tile_bytes - off);
+                        MemOp {
+                            kind: MemOpKind::RemoteReduce,
+                            addr: addr.add(off),
+                            bytes: len,
+                            cais: true,
+                            tile: Some(rtile),
+                        }
+                    })
+                    .collect();
+                let mut row: Vec<TbDesc> = (0..ctx.p())
+                    .map(|_g| TbDesc {
+                        id: ctx.ids.tb(),
+                        order_key: mi * n_nb + ni,
+                        group: None,
+                        pre_launch_sync: false,
+                        phases: vec![
+                            Phase::Compute(t_compute),
+                            Phase::IssueMem {
+                                ops: ops.clone(),
+                                wait: false,
+                            },
+                        ],
+                    })
+                    .collect();
+                {
+                    let mut refs: Vec<&mut TbDesc> = row.iter_mut().collect();
+                    if let Some(grp) = coordinate_row(
+                        &mut ctx.ids,
+                        &self.coordination,
+                        &mut refs,
+                        &Expr::mul(Expr::BlockIdx, Expr::Const(tile_bytes as i64)),
+                    ) {
+                        self.group_expected
+                            .borrow_mut()
+                            .insert(grp, ctx.p() as u32);
+                    }
+                }
+                for (g, tb) in row.into_iter().enumerate() {
+                    producer_tbs[g].push(tb);
+                }
+            }
+        }
+        let producer_name = format!("gemm.{}", dfg.node(producer).name);
+        let mut producer_kids = Vec::with_capacity(ctx.p());
+        for (g, tbs) in producer_tbs.into_iter().enumerate() {
+            let after = ctx.after_for(g, self.fused);
+            producer_kids.push(ctx.push_kernel(g, &producer_name, tbs, after, true));
+        }
+
+        // ---- middle (shard-local LN / elementwise) -------------------
+        // One fused kernel per GPU over its row bands; per-band tiles
+        // gate the consumer. Fine-grained mode: a band runs as soon as
+        // its reductions land. Base mode: bands wait for everything.
+        let mid_time_per_row: SimDuration = middle
+            .iter()
+            .map(|id| match &dfg.node(*id).kind {
+                NodeKind::LayerNorm { cols, .. } => {
+                    ctx.low.cost.elementwise(*cols, elem, 8.0)
+                }
+                NodeKind::Elementwise {
+                    cols,
+                    flops_per_elem,
+                    ..
+                } => ctx.low.cost.elementwise(*cols, elem, *flops_per_elem),
+                other => panic!("unsupported middle op {other:?}"),
+            })
+            .sum();
+
+        let mut mid_tiles: Vec<TileId> = Vec::with_capacity(n_mb as usize);
+        for _ in 0..n_mb {
+            mid_tiles.push(ctx.ids.tile());
+        }
+        // Coarse (CAIS-Base) gating: a GPU's middle TBs wait for every
+        // reduction tile of the bands *it owns* (reduction tiles only
+        // materialize at their owner).
+        let mut owned_red_tiles: Vec<Vec<TileId>> = vec![Vec::new(); ctx.p()];
+        for mi in 0..n_mb {
+            let owner = self.shard_owner(mi, n_mb, p);
+            owned_red_tiles[owner.index()].extend(red_tiles[mi as usize].iter().copied());
+        }
+
+        let mut mid_tbs: Vec<Vec<TbDesc>> = (0..ctx.p()).map(|_| Vec::new()).collect();
+        let has_middle_work = !middle.is_empty() || gather.is_some() || consumer.is_some();
+        if has_middle_work {
+            for mi in 0..n_mb {
+                let owner = self.shard_owner(mi, n_mb, p);
+                let m_len = tile.min(rows - mi * tile);
+                let notify_ops: Vec<MemOp> = (0..ctx.p())
+                    .filter(|g| *g != owner.index())
+                    .map(|g| MemOp {
+                        kind: MemOpKind::RemoteWrite,
+                        addr: ctx.ids.addr(GpuId(g as u16), 8),
+                        bytes: 8,
+                        cais: false,
+                        tile: Some(mid_tiles[mi as usize]),
+                    })
+                    .collect();
+                let tb = TbDesc {
+                    id: ctx.ids.tb(),
+                    order_key: mi,
+                    group: None,
+                    pre_launch_sync: false,
+                    phases: vec![
+                        Phase::Compute(mid_time_per_row * m_len),
+                        Phase::SignalTile(mid_tiles[mi as usize]),
+                        Phase::IssueMem {
+                            ops: notify_ops,
+                            wait: false,
+                        },
+                    ],
+                };
+                let deps = if self.fused {
+                    red_tiles[mi as usize].clone()
+                } else {
+                    owned_red_tiles[owner.index()].clone()
+                };
+                ctx.prog.tb_ready_deps.insert(tb.id, deps);
+                mid_tbs[owner.index()].push(tb);
+            }
+        }
+        let mid_name = if middle.is_empty() {
+            "fused.mid".to_string()
+        } else {
+            format!(
+                "fused.mid.{}",
+                middle
+                    .iter()
+                    .map(|id| dfg.node(*id).name.as_str())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            )
+        };
+        let mut mid_kids = Vec::with_capacity(ctx.p());
+        if has_middle_work {
+            for (g, tbs) in mid_tbs.into_iter().enumerate() {
+                let after = if self.fused {
+                    // Launched alongside the producer; tiles gate TBs.
+                    ctx.prev_local[g].into_iter().collect()
+                } else {
+                    // Coarse phase boundary: all producers done everywhere.
+                    producer_kids.clone()
+                };
+                mid_kids.push(ctx.push_kernel(g, &mid_name, tbs, after, false));
+            }
+        }
+
+        // ---- consumer GEMM (AG side) ---------------------------------
+        if let Some(consumer) = consumer {
+            let NodeKind::Gemm { m, n, k } = dfg.node(consumer).kind else {
+                panic!("pipeline consumer must be a GEMM");
+            };
+            let _ = gather;
+            let name = dfg.node(consumer).name.clone();
+            let after = if self.fused {
+                (0..ctx.p())
+                    .map(|g| ctx.prev_local[g])
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                mid_kids.clone()
+            };
+            let out =
+                self.emit_ag_gemm_kernels(ctx, &name, m, n, k, Some(&mid_tiles), after);
+            ctx.set_stage_output(out);
+        } else if !mid_kids.is_empty() {
+            ctx.set_stage_output(mid_kids);
+        } else {
+            ctx.set_stage_output(producer_kids);
+        }
+    }
+
+    /// Emits per-GPU AG-GEMM kernels: row bands are owned by their shard
+    /// GPU; non-owners `ld.cais` the band's operand tiles (merged at the
+    /// switch), owners read locally. `band_gate[mi]`, when given, is the
+    /// per-band readiness tile (present locally on every GPU via the
+    /// middle stage's notification writes).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_ag_gemm_kernels(
+        &self,
+        ctx: &mut LowerCtx,
+        name: &str,
+        m: u64,
+        n: u64,
+        k: u64,
+        band_gate: Option<&[TileId]>,
+        after: Vec<KernelId>,
+    ) -> Vec<KernelId> {
+        let p = ctx.p() as u64;
+        let tile = ctx.cfg.tile;
+        let elem = ctx.low.elem;
+        let n_mb = m.div_ceil(tile);
+        let n_nb = n.div_ceil(tile);
+        let n_kb = k.div_ceil(tile);
+        let tile_bytes = tile * tile * elem;
+
+        // Operand tiles of the gathered matrix: one address + TileId per
+        // (mi, kt), shared by every GPU (the TileDirectory tracks
+        // presence per GPU; the merge unit sees identical addresses).
+        let mut op_tiles: Vec<Vec<(sim_core::Addr, TileId)>> =
+            Vec::with_capacity(n_mb as usize);
+        for mi in 0..n_mb {
+            let owner = self.shard_owner(mi, n_mb, p);
+            let mut row = Vec::with_capacity(n_kb as usize);
+            for _kt in 0..n_kb {
+                row.push((ctx.ids.addr(owner, tile_bytes), ctx.ids.tile()));
+            }
+            op_tiles.push(row);
+        }
+
+        let mut tbs: Vec<Vec<TbDesc>> = (0..ctx.p()).map(|_| Vec::new()).collect();
+        for mi in 0..n_mb {
+            let owner = self.shard_owner(mi, n_mb, p);
+            let m_len = tile.min(m - mi * tile);
+            // Coordination row: the designated fetchers (nj == 0) of the
+            // p - 1 non-owner GPUs.
+            let mut fetcher_row: Vec<TbDesc> = Vec::new();
+            for ni in 0..n_nb {
+                let n_len = tile.min(n - ni * tile);
+                let t_compute = ctx.low.gemm_tb_time(m_len, n_len, k);
+                for g in 0..ctx.p() {
+                    let id = ctx.ids.tb();
+                    let mut phases = Vec::new();
+                    let mut deps = match band_gate {
+                        Some(gate) => {
+                            if self.fused {
+                                vec![gate[mi as usize]]
+                            } else {
+                                gate.to_vec()
+                            }
+                        }
+                        None => vec![],
+                    };
+                    if g != owner.index() {
+                        if ni == 0 {
+                            // Designated fetcher: issues the band's
+                            // `ld.cais` operand loads.
+                            let ops: Vec<MemOp> = op_tiles[mi as usize]
+                                .iter()
+                                .map(|(addr, t)| MemOp {
+                                    kind: MemOpKind::RemoteLoad,
+                                    addr: *addr,
+                                    bytes: tile_bytes,
+                                    cais: true,
+                                    tile: Some(*t),
+                                })
+                                .collect();
+                            phases.push(Phase::IssueMem { ops, wait: true });
+                        } else {
+                            // Siblings reuse the fetched band through the
+                            // L2 (tile directory). Gate *dispatch* on the
+                            // operand tiles rather than blocking in-slot:
+                            // a sibling holding an SM slot while its
+                            // band's fetcher is still queued can starve
+                            // the fetchers outright at scale.
+                            deps.extend(op_tiles[mi as usize].iter().map(|(_, t)| *t));
+                        }
+                    }
+                    phases.push(Phase::Compute(t_compute));
+                    let tb = TbDesc {
+                        id,
+                        order_key: mi * n_nb + ni,
+                        group: None,
+                        pre_launch_sync: false,
+                        phases,
+                    };
+                    ctx.prog.tb_ready_deps.insert(id, deps);
+                    if ni == 0 && g != owner.index() {
+                        fetcher_row.push(tb);
+                    } else {
+                        tbs[g].push(tb);
+                    }
+                }
+            }
+            if !fetcher_row.is_empty() {
+                {
+                    let mut refs: Vec<&mut TbDesc> = fetcher_row.iter_mut().collect();
+                    if let Some(grp) = coordinate_row(
+                        &mut ctx.ids,
+                        &self.coordination,
+                        &mut refs,
+                        &Expr::mul(Expr::BlockIdx, Expr::Const(tile_bytes as i64)),
+                    ) {
+                        // The owner reads locally and never syncs.
+                        self.group_expected
+                            .borrow_mut()
+                            .insert(grp, (ctx.p() - 1) as u32);
+                    }
+                }
+                // Distribute the fetcher TBs back to their GPUs (they were
+                // built in GPU order, owner skipped).
+                let mut it = fetcher_row.into_iter();
+                for g in 0..ctx.p() {
+                    if g != owner.index() {
+                        tbs[g].push(it.next().expect("one fetcher per non-owner"));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(ctx.p());
+        for (g, mut kernel_tbs) in tbs.into_iter().enumerate() {
+            kernel_tbs.sort_by_key(|tb| tb.order_key);
+            out.push(ctx.push_kernel(
+                g,
+                &format!("gemm.{name}"),
+                kernel_tbs,
+                after.clone(),
+                false,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_engine::strategy::execute;
+    use llm_workload::{sublayer, ModelConfig, SubLayer};
+
+    fn small_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::dgx_h100();
+        cfg.n_gpus = 4;
+        cfg.n_planes = 2;
+        cfg.fabric = noc_sim::FabricConfig::default_for(4, 2);
+        cfg.gpu.launch_skew = SimDuration::from_us(5);
+        cfg
+    }
+
+    fn small_model() -> ModelConfig {
+        ModelConfig {
+            hidden: 1024,
+            ffn_hidden: 2048,
+            heads: 8,
+            seq_len: 512,
+            batch: 1,
+            ..ModelConfig::llama_7b()
+        }
+    }
+
+    #[test]
+    fn full_cais_runs_a_sublayer() {
+        let cfg = small_cfg();
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+        assert!(report.total > SimDuration::from_us(10));
+        // Merging happened.
+        assert!(report.stat("cais.loads_merged").unwrap_or(0.0) > 0.0);
+        assert!(report.stat("cais.reduce_contribs").unwrap_or(0.0) > 0.0);
+        // Sync table fired.
+        assert!(report.stat("cais.sync_releases").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn base_is_slower_than_full() {
+        let cfg = small_cfg();
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        let full = execute(&CaisStrategy::full(), &dfg, &cfg);
+        let base = execute(&CaisStrategy::base(), &dfg, &cfg);
+        assert!(
+            base.total > full.total,
+            "base {} vs full {}",
+            base.total,
+            full.total
+        );
+    }
+
+    #[test]
+    fn coordination_reduces_request_spread() {
+        let cfg = small_cfg();
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        let coord = execute(&CaisStrategy::full().with_merge_table(None), &dfg, &cfg);
+        let uncoord = execute(
+            &CaisStrategy::base().with_merge_table(None),
+            &dfg,
+            &cfg,
+        );
+        let s_coord = coord.mean_request_spread.expect("spread recorded");
+        let s_uncoord = uncoord.mean_request_spread.expect("spread recorded");
+        assert!(
+            s_coord < s_uncoord,
+            "coordinated spread {s_coord} must beat uncoordinated {s_uncoord}"
+        );
+    }
+
+    #[test]
+    fn merged_loads_cut_traffic_vs_unmerged_count() {
+        let cfg = small_cfg();
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+        let reqs = report.stat("cais.load_requests").unwrap();
+        let merged = report.stat("cais.loads_merged").unwrap();
+        // With p=4, up to 2 of every 3 requests merge.
+        assert!(
+            merged / reqs > 0.4,
+            "merge ratio too low: {merged}/{reqs}"
+        );
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(CaisStrategy::full().name(), "CAIS");
+        assert_eq!(CaisStrategy::partial().name(), "CAIS-Partial");
+        assert_eq!(CaisStrategy::base().name(), "CAIS-Base");
+        let abl = CaisStrategy::full().with_coordination("x", CoordinationOpts::none());
+        assert_eq!(abl.name(), "CAIS[x]");
+    }
+}

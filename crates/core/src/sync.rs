@@ -1,0 +1,134 @@
+//! The switch-side Group Sync Table (paper Fig. 8b).
+//!
+//! Tracks pre-launch and pre-access synchronization requests per TB
+//! group; once every participating GPU has registered, a release is
+//! broadcast to all GPUs. The exchange uses empty packets, so the cost is
+//! one round trip (~0.5 µs in the paper's setup).
+
+use sim_core::{GpuId, GroupId, SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Per-(group, kind) synchronization state.
+#[derive(Debug, Default)]
+struct SyncEntry {
+    arrived: HashSet<GpuId>,
+    first: Option<SimTime>,
+}
+
+/// The Group Sync Table.
+#[derive(Debug)]
+pub struct GroupSyncTable {
+    n_gpus: usize,
+    /// Expected participants per group (defaults to `n_gpus`).
+    expected: HashMap<GroupId, u32>,
+    entries: HashMap<(GroupId, u8), SyncEntry>,
+    releases: u64,
+    wait_sum_ps: u128,
+    wait_count: u64,
+}
+
+impl GroupSyncTable {
+    /// Creates a table for `n_gpus` GPUs with optional per-group
+    /// participant overrides.
+    pub fn new(n_gpus: usize, expected: HashMap<GroupId, u32>) -> GroupSyncTable {
+        GroupSyncTable {
+            n_gpus,
+            expected,
+            entries: HashMap::new(),
+            releases: 0,
+            wait_sum_ps: 0,
+            wait_count: 0,
+        }
+    }
+
+    /// Registers a sync request. Returns `true` when the group is now
+    /// complete and the caller must broadcast the release.
+    pub fn register(&mut self, now: SimTime, group: GroupId, gpu: GpuId, kind: u8) -> bool {
+        let expected = self
+            .expected
+            .get(&group)
+            .copied()
+            .unwrap_or(self.n_gpus as u32);
+        let entry = self.entries.entry((group, kind)).or_default();
+        entry.first.get_or_insert(now);
+        entry.arrived.insert(gpu);
+        if entry.arrived.len() as u32 >= expected {
+            let entry = self.entries.remove(&(group, kind)).expect("entry exists");
+            self.releases += 1;
+            self.wait_sum_ps += now
+                .saturating_since(entry.first.expect("first set"))
+                .as_ps() as u128;
+            self.wait_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of completed releases.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Groups currently waiting.
+    pub fn open_groups(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Mean first-to-last registration delay across completed groups.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.wait_count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_ps((self.wait_sum_ps / self.wait_count as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn releases_when_all_gpus_register() {
+        let mut s = GroupSyncTable::new(3, HashMap::new());
+        assert!(!s.register(t(1), GroupId(0), GpuId(0), 0));
+        assert!(!s.register(t(2), GroupId(0), GpuId(1), 0));
+        assert_eq!(s.open_groups(), 1);
+        assert!(s.register(t(4), GroupId(0), GpuId(2), 0));
+        assert_eq!(s.releases(), 1);
+        assert_eq!(s.open_groups(), 0);
+        assert_eq!(s.mean_wait(), SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn duplicate_registrations_do_not_double_count() {
+        let mut s = GroupSyncTable::new(3, HashMap::new());
+        assert!(!s.register(t(1), GroupId(0), GpuId(0), 0));
+        assert!(!s.register(t(2), GroupId(0), GpuId(0), 0));
+        assert!(!s.register(t(3), GroupId(0), GpuId(1), 0));
+        assert!(s.register(t(4), GroupId(0), GpuId(2), 0));
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let mut s = GroupSyncTable::new(2, HashMap::new());
+        assert!(!s.register(t(1), GroupId(5), GpuId(0), 0));
+        assert!(!s.register(t(1), GroupId(5), GpuId(0), 1));
+        assert!(s.register(t(2), GroupId(5), GpuId(1), 0));
+        assert!(s.register(t(2), GroupId(5), GpuId(1), 1));
+        assert_eq!(s.releases(), 2);
+    }
+
+    #[test]
+    fn expected_override_shrinks_group() {
+        let mut expected = HashMap::new();
+        expected.insert(GroupId(9), 2);
+        let mut s = GroupSyncTable::new(8, expected);
+        assert!(!s.register(t(1), GroupId(9), GpuId(0), 0));
+        assert!(s.register(t(2), GroupId(9), GpuId(1), 0));
+    }
+}

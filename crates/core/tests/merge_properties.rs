@@ -1,0 +1,209 @@
+//! Property tests: the merge unit never loses or duplicates work, for
+//! arbitrary request interleavings, table capacities and eviction
+//! pressure.
+
+use cais_core::merge::{MergeAction, MergeConfig, MergeUnit, Waiter};
+use proptest::prelude::*;
+use sim_core::{Addr, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
+use std::collections::HashMap;
+
+const PLANE: PlaneId = PlaneId(0);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// GPU `g` requests address index `a`.
+    Load { a: usize, g: u16 },
+    /// GPU `g` contributes a reduction to address index `a`.
+    Reduce { a: usize, g: u16 },
+}
+
+fn op_strategy(n_addrs: usize, n_gpus: u16) -> impl Strategy<Value = Op> {
+    (0..n_addrs, 1..n_gpus, prop::bool::ANY).prop_map(|(a, g, is_load)| {
+        if is_load {
+            Op::Load { a, g }
+        } else {
+            Op::Reduce { a, g }
+        }
+    })
+}
+
+/// Closed-loop driver: applies ops with strictly increasing timestamps,
+/// delivers a memory response for every forwarded fetch, and tallies who
+/// got answered.
+fn drive(
+    ops: Vec<Op>,
+    n_gpus: usize,
+    capacity: Option<u64>,
+) -> (
+    HashMap<usize, usize>, // load requests per address
+    HashMap<usize, usize>, // load answers per address (merged + pass-through)
+    HashMap<usize, u32>,   // reduce contribs injected per address
+    HashMap<usize, u32>,   // reduce contribs flushed per address
+) {
+    let mut m = MergeUnit::new(MergeConfig {
+        n_gpus,
+        table_bytes_per_port: capacity,
+        entry_overhead_bytes: 16,
+        timeout: SimDuration::from_ms(1),
+    });
+    // Load ops are deduplicated per (gpu, addr) — the engine's tile
+    // directory guarantees one request per GPU per address — and each
+    // GPU contributes one reduction per address at most once; filter the
+    // random stream accordingly.
+    let mut seen_load = std::collections::HashSet::new();
+    let mut seen_red = std::collections::HashSet::new();
+
+    let addr_of = |a: usize| Addr::new(GpuId(0), (a as u64) * 4096);
+    let idx_of = |addr: Addr| (addr.offset() / 4096) as usize;
+
+    let mut loads_in: HashMap<usize, usize> = HashMap::new();
+    let mut answers: HashMap<usize, usize> = HashMap::new();
+    let mut reds_in: HashMap<usize, u32> = HashMap::new();
+    let mut reds_out: HashMap<usize, u32> = HashMap::new();
+
+    let mut t = 0u64;
+    let mut pending_fetches: Vec<Addr> = Vec::new();
+    let mut out = Vec::new();
+
+    let mut process = |actions: &mut Vec<MergeAction>,
+                       pending: &mut Vec<Addr>,
+                       answers: &mut HashMap<usize, usize>,
+                       reds_out: &mut HashMap<usize, u32>| {
+        for action in actions.drain(..) {
+            match action {
+                MergeAction::ForwardLoad { addr, .. } => pending.push(addr),
+                MergeAction::RespondLoad { addr, .. } => {
+                    *answers.entry(idx_of(addr)).or_default() += 1;
+                }
+                MergeAction::FlushReduce { addr, contribs, .. } => {
+                    *reds_out.entry(idx_of(addr)).or_default() += contribs;
+                }
+                MergeAction::GrantCredit { .. } => {}
+            }
+        }
+    };
+
+    for op in ops {
+        t += 100;
+        match op {
+            Op::Load { a, g } => {
+                if !seen_load.insert((a, g)) {
+                    continue;
+                }
+                *loads_in.entry(a).or_default() += 1;
+                m.on_load_req(
+                    SimTime::from_ns(t),
+                    PLANE,
+                    addr_of(a),
+                    4096,
+                    Waiter {
+                        requester: GpuId(g),
+                        tb: TbId(g as u64),
+                        tile: Some(TileId(a as u64)),
+                    },
+                    &mut out,
+                );
+                process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+            }
+            Op::Reduce { a, g } => {
+                if !seen_red.insert((a, g)) {
+                    continue;
+                }
+                *reds_in.entry(a).or_default() += 1;
+                m.on_reduce(
+                    SimTime::from_ns(t),
+                    PLANE,
+                    addr_of(a),
+                    4096,
+                    GpuId(g),
+                    1,
+                    Some(TileId(a as u64)),
+                    &mut out,
+                );
+                process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+            }
+        }
+        // Occasionally deliver an outstanding fetch response mid-stream.
+        if t % 300 == 0 {
+            if let Some(addr) = pending_fetches.pop() {
+                t += 50;
+                let consumed = m.on_load_resp(SimTime::from_ns(t), PLANE, addr, 4096, &mut out);
+                if !consumed {
+                    *answers.entry(idx_of(addr)).or_default() += 1;
+                }
+                process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+            }
+        }
+    }
+    // Drain every outstanding fetch.
+    while let Some(addr) = pending_fetches.pop() {
+        t += 100;
+        let consumed = m.on_load_resp(SimTime::from_ns(t), PLANE, addr, 4096, &mut out);
+        if !consumed {
+            *answers.entry(idx_of(addr)).or_default() += 1;
+        }
+        process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+    }
+    // Sweep until the timeout clears any idle partial sessions.
+    for _ in 0..5 {
+        t += 2_000_000;
+        m.sweep(SimTime::from_ns(t), PLANE, &mut out);
+        process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+        while let Some(addr) = pending_fetches.pop() {
+            t += 100;
+            let consumed = m.on_load_resp(SimTime::from_ns(t), PLANE, addr, 4096, &mut out);
+            if !consumed {
+                *answers.entry(idx_of(addr)).or_default() += 1;
+            }
+            process(&mut out, &mut pending_fetches, &mut answers, &mut reds_out);
+        }
+    }
+    (loads_in, answers, reds_in, reds_out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every load request is answered exactly once and every reduction
+    /// contribution is flushed exactly once, under any interleaving and
+    /// with an unbounded table.
+    #[test]
+    fn unbounded_table_conserves_everything(
+        ops in proptest::collection::vec(op_strategy(6, 8), 1..120),
+    ) {
+        let (loads_in, answers, reds_in, reds_out) = drive(ops, 8, None);
+        for (a, n) in &loads_in {
+            prop_assert_eq!(
+                answers.get(a).copied().unwrap_or(0), *n,
+                "address {} loads answered", a
+            );
+        }
+        for (a, n) in &reds_in {
+            prop_assert_eq!(
+                reds_out.get(a).copied().unwrap_or(0), *n,
+                "address {} contribs flushed", a
+            );
+        }
+    }
+
+    /// The same conservation holds under heavy eviction pressure (a table
+    /// that fits roughly one data entry).
+    #[test]
+    fn tiny_table_conserves_everything(
+        ops in proptest::collection::vec(op_strategy(6, 8), 1..120),
+    ) {
+        let (loads_in, answers, reds_in, reds_out) = drive(ops, 8, Some(6_000));
+        for (a, n) in &loads_in {
+            prop_assert_eq!(
+                answers.get(a).copied().unwrap_or(0), *n,
+                "address {} loads answered under eviction", a
+            );
+        }
+        for (a, n) in &reds_in {
+            prop_assert_eq!(
+                reds_out.get(a).copied().unwrap_or(0), *n,
+                "address {} contribs flushed under eviction", a
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The execution-strategy interface.
+
+use crate::config::SystemConfig;
+use crate::msg::Msg;
+use crate::program::Program;
+use crate::report::ExecReport;
+use crate::system::SystemSim;
+use llm_workload::Dfg;
+use noc_sim::SwitchLogic;
+
+/// An execution strategy: how a logical dataflow graph becomes kernels,
+/// thread blocks and switch behaviour.
+///
+/// Implementations: the nine baselines in `cais-baselines` and the CAIS
+/// variants in `cais-core`.
+pub trait Strategy {
+    /// Display name used in experiment tables ("TP-NVLS", "CAIS", ...).
+    fn name(&self) -> &str;
+
+    /// Adjusts system knobs this strategy requires (ready-queue policy,
+    /// traffic control, throttle credits). Called before lowering.
+    fn tune(&self, _cfg: &mut SystemConfig) {}
+
+    /// Lowers the workload graph into an executable program.
+    fn lower(&self, dfg: &Dfg, cfg: &SystemConfig) -> Program;
+
+    /// The in-switch logic this strategy runs (plain router, NVLS
+    /// multicast/reduction, CAIS merge unit).
+    fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>>;
+}
+
+/// Lowers and executes `dfg` under `strategy`, returning the report.
+///
+/// This is the single entry point the experiment harness uses.
+pub fn execute(strategy: &dyn Strategy, dfg: &Dfg, base_cfg: &SystemConfig) -> ExecReport {
+    let mut cfg = base_cfg.clone();
+    strategy.tune(&mut cfg);
+    let program = strategy.lower(dfg, &cfg);
+    let logic = strategy.switch_logic(&cfg);
+    SystemSim::new(cfg, program, logic).run()
+}

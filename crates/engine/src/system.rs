@@ -1,0 +1,1086 @@
+//! The multi-GPU system co-simulator.
+
+use crate::config::SystemConfig;
+use crate::msg::Msg;
+use crate::program::Program;
+use crate::report::{ExecReport, KernelSpan};
+use gpu_sim::{GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
+use noc_sim::{Delivery, Fabric, SwitchLogic};
+use sim_core::{Addr, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime, TbId, TileId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+#[derive(Debug, Default)]
+struct TileEntry {
+    present: bool,
+    fetching: bool,
+    contribs: u32,
+    resume_waiters: Vec<TbId>,
+}
+
+#[derive(Debug, Default)]
+struct ThrottleState {
+    outstanding: usize,
+    queue: VecDeque<(GpuId, GpuId, Msg)>,
+}
+
+/// Executes a [`Program`] on a configured system with a given switch logic.
+///
+/// Construct with [`SystemSim::new`], then call [`SystemSim::run`].
+pub struct SystemSim {
+    cfg: SystemConfig,
+    gpus: Vec<GpuSim>,
+    fabric: Fabric<Msg, Box<dyn SwitchLogic<Msg>>>,
+    now: SimTime,
+
+    pending_kernels: Vec<Option<crate::program::PlannedKernel>>,
+    dep_remaining: Vec<usize>,
+    children: HashMap<KernelId, Vec<usize>>,
+    kernels_remaining: usize,
+    kernel_spans: HashMap<KernelId, KernelSpan>,
+
+    tb_gpu: HashMap<TbId, GpuId>,
+    tb_blocked: HashMap<TbId, usize>,
+    tb_ready_remaining: HashMap<TbId, usize>,
+    ready_pending: HashSet<TbId>,
+    launched_tbs: HashSet<TbId>,
+    tile_ready_waiters: HashMap<(GpuId, TileId), Vec<TbId>>,
+    tiles: Vec<HashMap<TileId, TileEntry>>,
+    tile_expected: HashMap<TileId, u32>,
+
+    preaccess_blocked: HashMap<(GpuId, GroupId), Vec<TbId>>,
+
+    throttle: Vec<Vec<ThrottleState>>,
+    inflight_cais_loads: HashSet<(GpuId, Addr)>,
+
+    deduped_fetches: u64,
+}
+
+impl std::fmt::Debug for SystemSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSim")
+            .field("now", &self.now)
+            .field("kernels_remaining", &self.kernels_remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemSim {
+    /// Builds a system ready to run `program` with `logic` installed in
+    /// every switch plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation.
+    pub fn new(cfg: SystemConfig, program: Program, logic: Box<dyn SwitchLogic<Msg>>) -> SystemSim {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid program: {e}"));
+
+        let gpus: Vec<GpuSim> = (0..cfg.n_gpus)
+            .map(|i| GpuSim::new(cfg.gpu.clone(), cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678)))
+            .collect();
+        let fabric = Fabric::new(cfg.fabric_config(), logic);
+
+        let mut tb_gpu = HashMap::new();
+        for k in &program.kernels {
+            for tb in &k.desc.tbs {
+                tb_gpu.insert(tb.id, k.gpu);
+            }
+        }
+
+        let index: HashMap<KernelId, usize> = program
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.desc.id, i))
+            .collect();
+        let mut children: HashMap<KernelId, Vec<usize>> = HashMap::new();
+        let dep_remaining: Vec<usize> = program.kernels.iter().map(|k| k.after.len()).collect();
+        for (i, k) in program.kernels.iter().enumerate() {
+            for dep in &k.after {
+                debug_assert!(index.contains_key(dep));
+                children.entry(*dep).or_default().push(i);
+            }
+        }
+
+        let mut tb_ready_remaining = HashMap::new();
+        let mut tile_ready_waiters: HashMap<(GpuId, TileId), Vec<TbId>> = HashMap::new();
+        let mut ready_pending = HashSet::new();
+        // Deterministic registration order: waiter lists (and therefore
+        // FIFO tie-breaks downstream) must not depend on hash order.
+        let mut ready_deps: Vec<(&TbId, &Vec<TileId>)> = program.tb_ready_deps.iter().collect();
+        ready_deps.sort_by_key(|(tb, _)| **tb);
+        for (tb, tiles) in ready_deps {
+            let gpu = *tb_gpu
+                .get(tb)
+                .unwrap_or_else(|| panic!("ready dep for unknown TB {tb}"));
+            if tiles.is_empty() {
+                // Dependency-gated kernel but this TB has no prerequisites:
+                // it is ready the moment its kernel launches.
+                ready_pending.insert(*tb);
+                continue;
+            }
+            tb_ready_remaining.insert(*tb, tiles.len());
+            for tile in tiles {
+                tile_ready_waiters.entry((gpu, *tile)).or_default().push(*tb);
+            }
+        }
+
+        let kernels_remaining = program.kernels.len();
+        let throttle = (0..cfg.n_gpus)
+            .map(|_| (0..cfg.n_planes).map(|_| ThrottleState::default()).collect())
+            .collect();
+
+        SystemSim {
+            gpus,
+            fabric,
+            now: SimTime::ZERO,
+            pending_kernels: program.kernels.into_iter().map(Some).collect(),
+            dep_remaining,
+            children,
+            kernels_remaining,
+            kernel_spans: HashMap::new(),
+            tb_gpu,
+            tb_blocked: HashMap::new(),
+            tb_ready_remaining,
+            ready_pending,
+            launched_tbs: HashSet::new(),
+            tile_ready_waiters,
+            tiles: (0..cfg.n_gpus).map(|_| HashMap::new()).collect(),
+            tile_expected: program.tile_expected,
+            preaccess_blocked: HashMap::new(),
+            throttle,
+            inflight_cais_loads: HashSet::new(),
+            deduped_fetches: 0,
+            cfg,
+        }
+    }
+
+    /// Runs the program to completion and full network quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (no pending events while kernels remain) or when
+    /// the configured deadline is exceeded.
+    pub fn run(mut self) -> ExecReport {
+        let roots: Vec<usize> = self
+            .dep_remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        for i in roots {
+            self.launch_kernel(SimTime::ZERO, i);
+        }
+        loop {
+            self.drain_effects();
+            let next = self.next_event_time();
+            let Some(t) = next else { break };
+            assert!(
+                t <= self.cfg.deadline,
+                "simulation exceeded deadline {} (now {}); runaway or livelock",
+                self.cfg.deadline,
+                self.now
+            );
+            for gpu in &mut self.gpus {
+                gpu.advance(t);
+            }
+            self.fabric.advance(t);
+            self.now = t;
+        }
+        self.finish()
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        let g = self.gpus.iter().filter_map(|g| g.next_time()).min();
+        let f = self.fabric.next_time();
+        match (g, f) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn drain_effects(&mut self) {
+        loop {
+            let mut any = false;
+            for gi in 0..self.gpus.len() {
+                let effects = self.gpus[gi].drain_effects();
+                if !effects.is_empty() {
+                    any = true;
+                    for (t, e) in effects {
+                        self.handle_gpu_effect(t, GpuId(gi as u16), e);
+                    }
+                }
+            }
+            let deliveries = self.fabric.drain_deliveries();
+            if !deliveries.is_empty() {
+                any = true;
+                for d in deliveries {
+                    self.handle_delivery(d);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    fn launch_kernel(&mut self, now: SimTime, idx: usize) {
+        let planned = self.pending_kernels[idx]
+            .take()
+            .expect("kernel launched twice");
+        let kid = planned.desc.id;
+        self.kernel_spans.insert(
+            kid,
+            KernelSpan {
+                name: planned.desc.name.clone(),
+                gpu: planned.gpu,
+                start: now,
+                end: now,
+            },
+        );
+        for tb in &planned.desc.tbs {
+            self.launched_tbs.insert(tb.id);
+        }
+        let gpu = planned.gpu;
+        let ready_now: Vec<TbId> = planned
+            .desc
+            .tbs
+            .iter()
+            .map(|tb| tb.id)
+            .filter(|id| self.ready_pending.remove(id))
+            .collect();
+        self.gpus[gpu.index()].launch_kernel(now, planned.desc);
+        for tb in ready_now {
+            self.gpus[gpu.index()].make_tb_ready(now, tb);
+        }
+    }
+
+    // ---- tile state ----------------------------------------------------
+
+    fn tile_entry(&mut self, gpu: GpuId, tile: TileId) -> &mut TileEntry {
+        self.tiles[gpu.index()].entry(tile).or_default()
+    }
+
+    fn mark_tile_present(&mut self, now: SimTime, gpu: GpuId, tile: TileId) {
+        let entry = self.tile_entry(gpu, tile);
+        if entry.present {
+            return;
+        }
+        entry.present = true;
+        let waiters = std::mem::take(&mut entry.resume_waiters);
+        for tb in waiters {
+            self.dec_blocked(now, tb);
+        }
+        if let Some(ready) = self.tile_ready_waiters.remove(&(gpu, tile)) {
+            for tb in ready {
+                let rem = self
+                    .tb_ready_remaining
+                    .get_mut(&tb)
+                    .expect("ready waiter without counter");
+                *rem -= 1;
+                if *rem == 0 {
+                    if self.launched_tbs.contains(&tb) {
+                        let g = self.tb_gpu[&tb];
+                        self.gpus[g.index()].make_tb_ready(now, tb);
+                    } else {
+                        self.ready_pending.insert(tb);
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_contrib(&mut self, now: SimTime, gpu: GpuId, tile: TileId, n: u32) {
+        let expected = self.tile_expected.get(&tile).copied().unwrap_or(1);
+        let entry = self.tile_entry(gpu, tile);
+        entry.contribs += n;
+        debug_assert!(
+            entry.contribs <= expected,
+            "tile {tile} on {gpu} got {} contributions, expected {expected}",
+            entry.contribs
+        );
+        if entry.contribs >= expected {
+            self.mark_tile_present(now, gpu, tile);
+        }
+    }
+
+    fn dec_blocked(&mut self, now: SimTime, tb: TbId) {
+        let count = self
+            .tb_blocked
+            .get_mut(&tb)
+            .unwrap_or_else(|| panic!("TB {tb} not blocked"));
+        *count -= 1;
+        if *count == 0 {
+            self.tb_blocked.remove(&tb);
+            let g = self.tb_gpu[&tb];
+            self.gpus[g.index()].resume_tb(now, tb);
+        }
+    }
+
+    // ---- fabric injection ----------------------------------------------
+
+    fn plane_for(&self, msg: &Msg) -> PlaneId {
+        match msg {
+            Msg::SyncReq { group, .. } | Msg::SyncRel { group, .. } => {
+                PlaneId((group.0 % self.cfg.n_planes as u32) as u16)
+            }
+            m => m
+                .addr()
+                .map(|a| a.plane(self.cfg.n_planes))
+                .unwrap_or(PlaneId(0)),
+        }
+    }
+
+    fn inject(&mut self, now: SimTime, src: GpuId, dst: GpuId, msg: Msg) {
+        let plane = self.plane_for(&msg);
+        self.fabric.inject(now, src, dst, plane, msg);
+    }
+
+    /// Injects a CAIS-tagged request, honoring per-plane throttle credits.
+    fn inject_cais(&mut self, now: SimTime, src: GpuId, dst: GpuId, msg: Msg) {
+        let Some(limit) = self.cfg.cais_credits_per_plane else {
+            self.inject(now, src, dst, msg);
+            return;
+        };
+        let plane = self.plane_for(&msg);
+        let st = &mut self.throttle[src.index()][plane.index()];
+        if st.outstanding < limit {
+            st.outstanding += 1;
+            self.fabric.inject(now, src, dst, plane, msg);
+        } else {
+            st.queue.push_back((src, dst, msg));
+        }
+    }
+
+    fn return_credits(&mut self, now: SimTime, gpu: GpuId, plane: PlaneId, mut n: u32) {
+        if self.cfg.cais_credits_per_plane.is_none() {
+            return;
+        }
+        let limit = self.cfg.cais_credits_per_plane.expect("checked");
+        loop {
+            let st = &mut self.throttle[gpu.index()][plane.index()];
+            st.outstanding = st.outstanding.saturating_sub(n as usize);
+            n = 0;
+            if st.outstanding >= limit {
+                break;
+            }
+            let Some((src, dst, msg)) = st.queue.pop_front() else {
+                break;
+            };
+            st.outstanding += 1;
+            self.fabric.inject(now, src, dst, plane, msg);
+        }
+    }
+
+    // ---- GPU effects ----------------------------------------------------
+
+    fn handle_gpu_effect(&mut self, t: SimTime, gpu: GpuId, effect: GpuEffect) {
+        match effect {
+            GpuEffect::MemIssued { tb, ops, blocking } => {
+                self.handle_mem_issued(t, gpu, tb, ops, blocking)
+            }
+            GpuEffect::TileReady { tile } => self.mark_tile_present(t, gpu, tile),
+            GpuEffect::GroupSyncRequest { tb, group, kind } => {
+                let kind_raw = match kind {
+                    SyncKind::PreLaunch => 0,
+                    SyncKind::PreAccess => 1,
+                };
+                if kind == SyncKind::PreAccess {
+                    self.preaccess_blocked.entry((gpu, group)).or_default().push(tb);
+                }
+                self.inject(t, gpu, gpu, Msg::SyncReq { group, gpu, kind: kind_raw });
+            }
+            GpuEffect::NeedTiles { tb, tiles } => {
+                let mut missing = 0;
+                for tile in tiles {
+                    let entry = self.tile_entry(gpu, tile);
+                    if !entry.present {
+                        missing += 1;
+                        entry.resume_waiters.push(tb);
+                    }
+                }
+                if missing == 0 {
+                    self.gpus[gpu.index()].resume_tb(t, tb);
+                } else {
+                    *self.tb_blocked.entry(tb).or_insert(0) += missing;
+                }
+            }
+            GpuEffect::TbCompleted { .. } => {}
+            GpuEffect::KernelCompleted { kernel } => {
+                if let Some(span) = self.kernel_spans.get_mut(&kernel) {
+                    span.end = t;
+                }
+                self.kernels_remaining -= 1;
+                if let Some(children) = self.children.remove(&kernel) {
+                    for idx in children {
+                        self.dep_remaining[idx] -= 1;
+                        if self.dep_remaining[idx] == 0 {
+                            self.launch_kernel(t, idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_mem_issued(
+        &mut self,
+        t: SimTime,
+        gpu: GpuId,
+        tb: TbId,
+        ops: Vec<MemOp>,
+        blocking: bool,
+    ) {
+        let mut outstanding = 0usize;
+        for op in ops {
+            let home = op.addr.home_gpu();
+            match op.kind {
+                MemOpKind::RemoteLoad => {
+                    if home == gpu {
+                        // Local read: covered by the roofline compute time;
+                        // just materialize the tile.
+                        if let Some(tile) = op.tile {
+                            self.mark_tile_present(t, gpu, tile);
+                        }
+                        continue;
+                    }
+                    if let Some(tile) = op.tile {
+                        let entry = self.tile_entry(gpu, tile);
+                        if entry.present {
+                            continue;
+                        }
+                        if blocking {
+                            outstanding += 1;
+                            entry.resume_waiters.push(tb);
+                        }
+                        if entry.fetching {
+                            // L2 capture: another TB already fetching.
+                            self.deduped_fetches += 1;
+                            continue;
+                        }
+                        entry.fetching = true;
+                        let msg = Msg::LoadReq {
+                            addr: op.addr,
+                            bytes: op.bytes,
+                            requester: gpu,
+                            tb,
+                            tile: Some(tile),
+                            cais: op.cais,
+                        };
+                        if op.cais {
+                            self.inflight_cais_loads.insert((gpu, op.addr));
+                            self.inject_cais(t, gpu, home, msg);
+                        } else {
+                            self.inject(t, gpu, home, msg);
+                        }
+                    } else {
+                        if blocking {
+                            outstanding += 1;
+                        }
+                        let msg = Msg::LoadReq {
+                            addr: op.addr,
+                            bytes: op.bytes,
+                            requester: gpu,
+                            tb,
+                            tile: None,
+                            cais: op.cais,
+                        };
+                        if op.cais {
+                            self.inflight_cais_loads.insert((gpu, op.addr));
+                            self.inject_cais(t, gpu, home, msg);
+                        } else {
+                            self.inject(t, gpu, home, msg);
+                        }
+                    }
+                }
+                MemOpKind::RemoteReduce => {
+                    // CAIS `red.cais` to a locally-homed address is a plain
+                    // HBM accumulate; NVLS `multimem.red` (cais = false)
+                    // always traverses the switch, which owns the
+                    // reduce-and-multicast semantics.
+                    if home == gpu && op.cais {
+                        if let Some(tile) = op.tile {
+                            self.add_contrib(t, gpu, tile, 1);
+                        }
+                        continue;
+                    }
+                    let msg = Msg::Reduce {
+                        addr: op.addr,
+                        bytes: op.bytes,
+                        src: gpu,
+                        contribs: 1,
+                        tile: op.tile,
+                        cais: op.cais,
+                    };
+                    if op.cais {
+                        self.inject_cais(t, gpu, home, msg);
+                    } else {
+                        self.inject(t, gpu, home, msg);
+                    }
+                }
+                MemOpKind::RemoteWrite => {
+                    if home == gpu {
+                        if let Some(tile) = op.tile {
+                            self.mark_tile_present(t, gpu, tile);
+                        }
+                        continue;
+                    }
+                    self.inject(
+                        t,
+                        gpu,
+                        home,
+                        Msg::Write {
+                            addr: op.addr,
+                            bytes: op.bytes,
+                            src: gpu,
+                            tile: op.tile,
+                            contrib: false,
+                        },
+                    );
+                }
+                MemOpKind::MulticastStore => {
+                    // Push once; the switch logic replicates to the other
+                    // GPUs (each marks `tile` present on delivery).
+                    self.inject(
+                        t,
+                        gpu,
+                        home,
+                        Msg::MulticastStore {
+                            addr: op.addr,
+                            bytes: op.bytes,
+                            src: gpu,
+                            tile: op.tile,
+                        },
+                    );
+                }
+                MemOpKind::LoadReduce => {
+                    if blocking {
+                        outstanding += 1;
+                        match op.tile {
+                            // Completion is signaled through the tile.
+                            Some(tile) => self.tile_entry(gpu, tile).resume_waiters.push(tb),
+                            // Tile-less: the LoadResp credits the TB
+                            // directly in `handle_delivery`.
+                            None => {}
+                        }
+                    }
+                    self.inject(
+                        t,
+                        gpu,
+                        home,
+                        Msg::LoadReduceReq {
+                            addr: op.addr,
+                            bytes: op.bytes,
+                            requester: gpu,
+                            tb,
+                            tile: op.tile,
+                        },
+                    );
+                }
+            }
+        }
+        if blocking && outstanding == 0 {
+            self.gpus[gpu.index()].resume_tb(t, tb);
+        } else if blocking {
+            *self.tb_blocked.entry(tb).or_insert(0) += outstanding;
+        }
+    }
+
+    // ---- fabric deliveries ----------------------------------------------
+
+    fn handle_delivery(&mut self, d: Delivery<Msg>) {
+        let Delivery {
+            time: t,
+            dst: gpu,
+            plane,
+            payload,
+            ..
+        } = d;
+        match payload {
+            Msg::LoadReq {
+                addr,
+                bytes,
+                requester,
+                tb,
+                tile,
+                ..
+            } => {
+                // We are the home GPU: the memory system answers after its
+                // read latency; no SM involvement.
+                debug_assert_eq!(addr.home_gpu(), gpu, "load routed to wrong GPU");
+                let resp = Msg::LoadResp {
+                    addr,
+                    bytes,
+                    requester,
+                    tb,
+                    tile,
+                };
+                let at = t + self.cfg.mem_read_latency;
+                let plane = self.plane_for(&resp);
+                self.fabric.inject(at, gpu, requester, plane, resp);
+            }
+            Msg::LoadResp { addr, tb, tile, .. } => {
+                if self.inflight_cais_loads.remove(&(gpu, addr)) {
+                    self.return_credits(t, gpu, plane, 1);
+                }
+                match tile {
+                    Some(tile) => self.mark_tile_present(t, gpu, tile),
+                    None => self.dec_blocked(t, tb),
+                }
+            }
+            Msg::Reduce {
+                tile, contribs, ..
+            } => {
+                // A (possibly switch-merged) reduction contribution reached
+                // the home GPU.
+                if let Some(tile) = tile {
+                    self.add_contrib(t, gpu, tile, contribs);
+                }
+            }
+            Msg::Write { tile, contrib, .. } => {
+                if let Some(tile) = tile {
+                    if contrib {
+                        self.add_contrib(t, gpu, tile, 1);
+                    } else {
+                        self.mark_tile_present(t, gpu, tile);
+                    }
+                }
+            }
+            Msg::MulticastStore { tile, .. } => {
+                if let Some(tile) = tile {
+                    self.mark_tile_present(t, gpu, tile);
+                }
+            }
+            Msg::FetchReq {
+                addr,
+                bytes,
+                session,
+                ..
+            } => {
+                // Supply our partial to the switch's reduction session.
+                let resp = Msg::FetchResp {
+                    addr,
+                    bytes,
+                    src: gpu,
+                    session,
+                };
+                let at = t + self.cfg.mem_read_latency;
+                self.fabric.inject(at, gpu, gpu, plane, resp);
+            }
+            Msg::FetchResp { .. } => {
+                panic!("FetchResp must be consumed by switch logic, not a GPU");
+            }
+            Msg::LoadReduceReq { .. } => {
+                panic!("LoadReduceReq reached a GPU; switch logic must implement it");
+            }
+            Msg::SyncReq { .. } => {
+                panic!("SyncReq reached a GPU; switch logic must implement the sync table");
+            }
+            Msg::SyncRel { group, kind } => match kind {
+                0 => self.gpus[gpu.index()].release_group(t, group),
+                _ => {
+                    for tb in self
+                        .preaccess_blocked
+                        .remove(&(gpu, group))
+                        .unwrap_or_default()
+                    {
+                        self.gpus[gpu.index()].resume_tb(t, tb);
+                    }
+                }
+            },
+            Msg::CreditGrant { credits } => {
+                self.return_credits(t, gpu, plane, credits);
+            }
+        }
+    }
+
+    // ---- teardown --------------------------------------------------------
+
+    fn finish(self) -> ExecReport {
+        if self.kernels_remaining > 0 {
+            let incomplete: Vec<String> = self
+                .pending_kernels
+                .iter()
+                .flatten()
+                .map(|k| format!("unlaunched {} on {}", k.desc.name, k.gpu))
+                .chain(self.kernel_spans.iter().filter_map(|(id, s)| {
+                    // Spans whose end never moved past start and whose
+                    // kernel still has live TBs are the stuck ones.
+                    let live = self.gpus[s.gpu.index()]
+                        .stuck_tbs()
+                        .iter()
+                        .any(|tb| self.tb_gpu.get(tb) == Some(&s.gpu));
+                    (live).then(|| format!("incomplete {id} {} on {}", s.name, s.gpu))
+                }))
+                .take(12)
+                .collect();
+            let engine_blocked = self.tb_blocked.len();
+            let preaccess: Vec<_> = self
+                .preaccess_blocked
+                .iter()
+                .map(|((g, grp), tbs)| format!("{g}/{grp}:{}", tbs.len()))
+                .take(8)
+                .collect();
+            let queued: usize = self
+                .throttle
+                .iter()
+                .flatten()
+                .map(|t| t.queue.len())
+                .sum();
+            panic!(
+                "deadlock: {} kernels never completed; engine-blocked TBs {engine_blocked}, \
+                 pre-access waiters {preaccess:?}, throttle-queued {queued}; kernels: {incomplete:?}",
+                self.kernels_remaining,
+            );
+        }
+        assert!(
+            self.tb_blocked.is_empty(),
+            "deadlock: TBs still blocked at quiescence: {:?}",
+            self.tb_blocked.keys().take(16).collect::<Vec<_>>()
+        );
+        let total = self.now.since(SimTime::ZERO);
+        let logic_stats = self.fabric.logic().stats();
+        let mean_request_spread = logic_stats
+            .iter()
+            .find(|(k, _)| k == "cais.mean_spread_us")
+            .map(|(_, v)| SimDuration::from_ps((*v * 1e6) as u64));
+        ExecReport {
+            total,
+            gpu_occupancy: self.gpus.iter().map(|g| g.occupancy(total)).collect(),
+            fabric: self.fabric.report(total),
+            kernel_spans: self.kernel_spans,
+            logic_stats,
+            deduped_fetches: self.deduped_fetches,
+            mean_request_spread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAlloc;
+    use crate::program::PlannedKernel;
+    use gpu_sim::{KernelDesc, Phase, TbDesc};
+    use noc_sim::PureRouter;
+
+    fn quiet_cfg(n_gpus: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::dgx_h100();
+        cfg.n_gpus = n_gpus;
+        cfg.n_planes = 1;
+        cfg.fabric = noc_sim::FabricConfig::default_for(n_gpus, 1);
+        cfg.gpu.dispatch_jitter = SimDuration::ZERO;
+        cfg.gpu.launch_skew = SimDuration::ZERO;
+        cfg.gpu.compute_jitter = SimDuration::ZERO;
+        cfg
+    }
+
+    fn run(cfg: SystemConfig, program: Program) -> ExecReport {
+        SystemSim::new(cfg, program, Box::new(PureRouter)).run()
+    }
+
+    #[test]
+    fn remote_load_blocks_until_response() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let addr = ids.addr(GpuId(1), 4096);
+        let tb = TbDesc {
+            id: ids.tb(),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![
+                Phase::IssueMem {
+                    ops: vec![MemOp {
+                        kind: MemOpKind::RemoteLoad,
+                        addr,
+                        bytes: 4096,
+                        cais: false,
+                        tile: None,
+                    }],
+                    wait: true,
+                },
+                Phase::Compute(SimDuration::from_us(1)),
+            ],
+        };
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "loader", vec![tb]),
+            after: vec![],
+        });
+        let report = run(cfg, p);
+        // 3us launch + round trip (~1us links + serialization) + mem
+        // latency + 1us compute: must exceed 5us and be well under 100us.
+        assert!(report.total > SimDuration::from_us(5), "total {}", report.total);
+        assert!(report.total < SimDuration::from_us(100));
+    }
+
+    #[test]
+    fn tile_dedup_avoids_duplicate_fetches() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let addr = ids.addr(GpuId(1), 4096);
+        let tile = ids.tile();
+        let mk_tb = |ids: &mut IdAlloc, key| TbDesc {
+            id: ids.tb(),
+            order_key: key,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::IssueMem {
+                ops: vec![MemOp {
+                    kind: MemOpKind::RemoteLoad,
+                    addr,
+                    bytes: 4096,
+                    cais: false,
+                    tile: Some(tile),
+                }],
+                wait: true,
+            }],
+        };
+        let tbs = vec![mk_tb(&mut ids, 0), mk_tb(&mut ids, 1), mk_tb(&mut ids, 2)];
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "loaders", vec![]),
+            after: vec![],
+        });
+        p.kernels[0].desc.tbs = tbs;
+        let report = run(cfg, p);
+        assert_eq!(report.deduped_fetches, 2, "two of three loads deduped");
+    }
+
+    #[test]
+    fn reduce_contributions_complete_consumer_tile() {
+        // Two producer GPUs reduce into a tile on GPU 0; a consumer kernel
+        // TB on GPU 0 is gated on that tile.
+        let cfg = quiet_cfg(3);
+        let mut ids = IdAlloc::new(3);
+        let addr = ids.addr(GpuId(0), 8192);
+        let tile = ids.tile();
+        let mut p = Program::new();
+        let mut producer_ids = vec![];
+        for g in 0..3u16 {
+            let tb = TbDesc {
+                id: ids.tb(),
+                order_key: 0,
+                group: None,
+                pre_launch_sync: false,
+                phases: vec![
+                    Phase::Compute(SimDuration::from_us(2)),
+                    Phase::IssueMem {
+                        ops: vec![MemOp {
+                            kind: MemOpKind::RemoteReduce,
+                            addr,
+                            bytes: 8192,
+                            cais: false,
+                            tile: Some(tile),
+                        }],
+                        wait: false,
+                    },
+                ],
+            };
+            let kid = ids.kernel();
+            producer_ids.push(kid);
+            p.push(PlannedKernel {
+                gpu: GpuId(g),
+                desc: KernelDesc::new(kid, format!("prod{g}"), vec![tb]),
+                after: vec![],
+            });
+        }
+        let consumer_tb = ids.tb();
+        let mut desc = KernelDesc::new(
+            ids.kernel(),
+            "consumer",
+            vec![TbDesc::compute_only(consumer_tb, 0, SimDuration::from_us(1))],
+        );
+        desc.tbs_auto_ready = false;
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc,
+            after: vec![],
+        });
+        p.tb_ready_deps.insert(consumer_tb, vec![tile]);
+        p.tile_expected.insert(tile, 3);
+        let report = run(cfg, p);
+        let span = report
+            .kernel_spans
+            .values()
+            .find(|s| s.name == "consumer")
+            .unwrap();
+        // Consumer can only finish after remote contributions arrived
+        // (launch 3us + produce 2us + wire time), then 1us compute.
+        assert!(span.end > SimTime::from_us(6));
+    }
+
+    #[test]
+    fn kernel_barrier_orders_execution() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let mut p = Program::new();
+        let mut first = vec![];
+        for g in 0..2u16 {
+            let kid = ids.kernel();
+            first.push(kid);
+            p.push(PlannedKernel {
+                gpu: GpuId(g),
+                desc: KernelDesc::new(
+                    kid,
+                    "first",
+                    vec![TbDesc::compute_only(ids.tb(), 0, SimDuration::from_us(5))],
+                ),
+                after: vec![],
+            });
+        }
+        let second = ids.kernel();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(
+                second,
+                "second",
+                vec![TbDesc::compute_only(ids.tb(), 0, SimDuration::from_us(1))],
+            ),
+            after: first.clone(),
+        });
+        let report = run(cfg, p);
+        let s = &report.kernel_spans[&second];
+        for f in &first {
+            assert!(s.start >= report.kernel_spans[f].end);
+        }
+    }
+
+    #[test]
+    fn throttle_credits_serialize_cais_loads() {
+        // One credit per plane: two CAIS loads to tiles on the same plane
+        // must round-trip one at a time (the second waits for the first
+        // response to return the credit).
+        let mut unthrottled_cfg = quiet_cfg(2);
+        unthrottled_cfg.n_planes = 1;
+        unthrottled_cfg.fabric = noc_sim::FabricConfig::default_for(2, 1);
+        let mut throttled_cfg = unthrottled_cfg.clone();
+        throttled_cfg.cais_credits_per_plane = Some(1);
+
+        let build = |cfg: &SystemConfig| {
+            let mut ids = IdAlloc::new(2);
+            let ops: Vec<MemOp> = (0..2)
+                .map(|_| MemOp {
+                    kind: MemOpKind::RemoteLoad,
+                    addr: ids.addr(GpuId(1), 1 << 20),
+                    bytes: 1 << 20,
+                    cais: true,
+                    tile: Some(ids.tile()),
+                })
+                .collect();
+            let tb = TbDesc {
+                id: ids.tb(),
+                order_key: 0,
+                group: None,
+                pre_launch_sync: false,
+                phases: vec![Phase::IssueMem { ops, wait: true }],
+            };
+            let mut p = Program::new();
+            p.push(PlannedKernel {
+                gpu: GpuId(0),
+                desc: KernelDesc::new(ids.kernel(), "loader", vec![tb]),
+                after: vec![],
+            });
+            let _ = cfg;
+            p
+        };
+        let fast = SystemSim::new(
+            unthrottled_cfg.clone(),
+            build(&unthrottled_cfg),
+            Box::new(PureRouter),
+        )
+        .run();
+        let slow = SystemSim::new(
+            throttled_cfg.clone(),
+            build(&throttled_cfg),
+            Box::new(PureRouter),
+        )
+        .run();
+        // With one credit the two 1 MB responses cannot overlap on the
+        // wire, so the throttled run is measurably longer.
+        assert!(
+            slow.total.as_ns() > fast.total.as_ns() + 1_000,
+            "throttled {} vs unthrottled {}",
+            slow.total,
+            fast.total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_tile_deadlocks_with_diagnostics() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let tile = ids.tile();
+        let tb = TbDesc {
+            id: ids.tb(),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::WaitTiles(vec![tile])],
+        };
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "stuck", vec![tb]),
+            after: vec![],
+        });
+        let _ = run(cfg, p);
+    }
+
+    #[test]
+    fn remote_write_marks_tile_at_destination() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let addr = ids.addr(GpuId(1), 1 << 20);
+        let tile = ids.tile();
+        let writer = TbDesc {
+            id: ids.tb(),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::IssueMem {
+                ops: vec![MemOp {
+                    kind: MemOpKind::RemoteWrite,
+                    addr,
+                    bytes: 1 << 20,
+                    cais: false,
+                    tile: Some(tile),
+                }],
+                wait: false,
+            }],
+        };
+        let consumer_tb = ids.tb();
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "writer", vec![writer]),
+            after: vec![],
+        });
+        let mut desc = KernelDesc::new(
+            ids.kernel(),
+            "reader",
+            vec![TbDesc::compute_only(consumer_tb, 0, SimDuration::from_us(1))],
+        );
+        desc.tbs_auto_ready = false;
+        p.push(PlannedKernel {
+            gpu: GpuId(1),
+            desc,
+            after: vec![],
+        });
+        p.tb_ready_deps.insert(consumer_tb, vec![tile]);
+        let report = run(cfg, p);
+        let span = report
+            .kernel_spans
+            .values()
+            .find(|s| s.name == "reader")
+            .unwrap();
+        // 1 MB at 450 GB/s per link ~ 2.3us per hop + latency.
+        assert!(span.end > SimTime::from_us(7), "end {}", span.end);
+    }
+}

@@ -1,0 +1,126 @@
+//! Roofline kernel timing model.
+//!
+//! Replaces Accel-Sim's cycle-level SM pipelines with the first-order model
+//! that actually governs dense LLM kernels: a TB's duration is the larger
+//! of its math time (FLOPs at the SM's peak rate, derated by an efficiency
+//! factor) and its memory time (bytes at the SM's share of HBM bandwidth).
+
+use crate::config::GpuConfig;
+use sim_core::SimDuration;
+
+/// Computes TB durations for a given GPU configuration.
+#[derive(Debug, Clone)]
+pub struct KernelCost {
+    flops_per_ns: f64,
+    bytes_per_ns: f64,
+    efficiency: f64,
+}
+
+impl KernelCost {
+    /// Default fraction of peak a well-tuned CUTLASS GEMM sustains.
+    pub const DEFAULT_EFFICIENCY: f64 = 0.65;
+
+    /// Builds a cost model for one SM of `cfg` with the default efficiency.
+    pub fn new(cfg: &GpuConfig) -> KernelCost {
+        KernelCost::with_efficiency(cfg, Self::DEFAULT_EFFICIENCY)
+    }
+
+    /// Builds a cost model with an explicit sustained-efficiency factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < efficiency <= 1`.
+    pub fn with_efficiency(cfg: &GpuConfig, efficiency: f64) -> KernelCost {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1], got {efficiency}"
+        );
+        KernelCost {
+            flops_per_ns: cfg.flops_per_ns_per_sm,
+            bytes_per_ns: cfg.hbm_bw_per_sm().as_bytes_per_sec() / 1e9,
+            efficiency,
+        }
+    }
+
+    /// Duration of a TB performing `flops` FLOPs over `hbm_bytes` of local
+    /// memory traffic on one SM.
+    pub fn tb_time(&self, flops: f64, hbm_bytes: f64) -> SimDuration {
+        let math_ns = flops / (self.flops_per_ns * self.efficiency);
+        let mem_ns = hbm_bytes / self.bytes_per_ns;
+        let ns = math_ns.max(mem_ns);
+        SimDuration::from_ps((ns * 1e3).ceil() as u64)
+    }
+
+    /// Typical cross-TB operand reuse through L2/shared memory: adjacent
+    /// tiles in a GEMM wave re-read the same operand rows/columns, so only
+    /// ~1/8 of the naive operand footprint reaches HBM.
+    pub const OPERAND_REUSE: f64 = 8.0;
+
+    /// Duration of a GEMM tile: `2*m*n*k` FLOPs writing an `m x n` result
+    /// and streaming `m x k` / `k x n` operands derated by
+    /// [`Self::OPERAND_REUSE`] (`elem` bytes per element).
+    pub fn gemm_tile(&self, m: u64, n: u64, k: u64, elem: u64) -> SimDuration {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes =
+            ((m * k + k * n) * elem) as f64 / Self::OPERAND_REUSE + (m * n * elem) as f64;
+        self.tb_time(flops, bytes)
+    }
+
+    /// Duration of an elementwise/normalization TB over `elems` elements
+    /// (`elem_bytes` each, read + write, ~`flops_per_elem` FLOPs per
+    /// element — bandwidth-bound in practice).
+    pub fn elementwise(&self, elems: u64, elem_bytes: u64, flops_per_elem: f64) -> SimDuration {
+        self.tb_time(
+            elems as f64 * flops_per_elem,
+            (2 * elems * elem_bytes) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> KernelCost {
+        KernelCost::new(&GpuConfig::h100_half())
+    }
+
+    #[test]
+    fn gemm_tile_is_compute_bound() {
+        // A 128x128x4096 fp16 tile: 137 MFLOP vs ~1.1 MB of traffic.
+        let c = cost();
+        let t = c.gemm_tile(128, 128, 4096, 2);
+        // Math time at 65% of 7492 FLOP/ns: 137.4e6 / 4870 ~ 28.2 us... ns!
+        let expect_ns = 2.0 * 128.0 * 128.0 * 4096.0 / (7492.0 * 0.65);
+        let got_ns = t.as_ps() as f64 / 1e3;
+        assert!(
+            (got_ns - expect_ns).abs() / expect_ns < 0.05,
+            "expected ~{expect_ns} ns, got {got_ns} ns"
+        );
+    }
+
+    #[test]
+    fn elementwise_is_memory_bound() {
+        let c = cost();
+        let t = c.elementwise(128 * 4096, 2, 4.0);
+        let bytes = 2.0 * 128.0 * 4096.0 * 2.0;
+        let expect_ns = bytes / (1675.0 / 66.0);
+        let got_ns = t.as_ps() as f64 / 1e3;
+        assert!(
+            (got_ns - expect_ns).abs() / expect_ns < 0.05,
+            "expected ~{expect_ns} ns, got {got_ns} ns"
+        );
+    }
+
+    #[test]
+    fn more_flops_take_longer() {
+        let c = cost();
+        assert!(c.gemm_tile(128, 128, 8192, 2) > c.gemm_tile(128, 128, 4096, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in")]
+    fn rejects_bad_efficiency() {
+        let _ = KernelCost::with_efficiency(&GpuConfig::h100_half(), 0.0);
+    }
+}

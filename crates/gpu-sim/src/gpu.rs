@@ -1,0 +1,900 @@
+//! The per-GPU execution simulator.
+
+use crate::config::{GpuConfig, ReadyPolicy};
+use crate::kernel::{KernelDesc, MemOp, Phase, SyncKind, TbDesc};
+use sim_core::rng::JitterRng;
+use sim_core::{EventQueue, GroupId, KernelId, SimDuration, SimTime, TbId, TileId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// An observable action produced by the GPU, drained by the engine.
+#[derive(Debug, Clone)]
+pub enum GpuEffect {
+    /// A TB issued remote memory operations. With `blocking`, the TB is
+    /// now blocked and must be [`GpuSim::resume_tb`]-ed when the engine
+    /// considers the operations complete.
+    MemIssued {
+        /// Issuing TB.
+        tb: TbId,
+        /// The operations.
+        ops: Vec<MemOp>,
+        /// Whether the TB blocked on completion.
+        blocking: bool,
+    },
+    /// A TB produced a tile locally.
+    TileReady {
+        /// The produced tile.
+        tile: TileId,
+    },
+    /// A TB asked for group synchronization. For [`SyncKind::PreAccess`]
+    /// the TB is blocked and must be resumed; for [`SyncKind::PreLaunch`]
+    /// the TB is pending dispatch until [`GpuSim::release_group`].
+    GroupSyncRequest {
+        /// Requesting TB.
+        tb: TbId,
+        /// The TB's group.
+        group: GroupId,
+        /// Synchronization point.
+        kind: SyncKind,
+    },
+    /// A TB is blocked until all `tiles` are present on this GPU; the
+    /// engine resumes it (immediately if they already are).
+    NeedTiles {
+        /// Blocked TB.
+        tb: TbId,
+        /// Tiles required.
+        tiles: Vec<TileId>,
+    },
+    /// A TB finished all phases.
+    TbCompleted {
+        /// The TB.
+        tb: TbId,
+        /// Its kernel.
+        kernel: KernelId,
+    },
+    /// Every TB of a kernel finished.
+    KernelCompleted {
+        /// The kernel.
+        kernel: KernelId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TbState {
+    /// Waiting for kernel arming and/or engine dependency release.
+    Waiting,
+    /// Ready but gated on a pre-launch group release.
+    PendingGroup,
+    /// In the ready queue.
+    Queued,
+    /// Occupying an SM slot, executing phase `phase`.
+    Running { phase: usize },
+    /// Occupying a slot, blocked in phase `phase` on an external event.
+    Blocked { phase: usize },
+    /// Yielded its slot while waiting for a group synchronization (the
+    /// warp scheduler runs other work meanwhile); re-dispatched with
+    /// priority on resume.
+    Yielded { phase: usize },
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct TbRuntime {
+    desc: TbDesc,
+    kernel: KernelId,
+    state: TbState,
+    armed: bool,
+    deps_ok: bool,
+    enqueued_or_pending: bool,
+    /// Phase to resume from when re-dispatched after a yielded sync.
+    resume_phase: usize,
+}
+
+#[derive(Debug)]
+struct KernelRuntime {
+    remaining: usize,
+    ordered: bool,
+}
+
+#[derive(Debug)]
+enum GpuEvent {
+    KernelArmed(KernelId),
+    /// A TB's readiness (including dispatch jitter) materialized.
+    ReadyAt(TbId),
+    /// The current phase of a TB completed; advance to the next.
+    PhaseDone(TbId),
+    /// Try to dispatch ready TBs onto free slots.
+    Dispatch,
+}
+
+/// One simulated GPU.
+///
+/// Driven by an engine: [`GpuSim::launch_kernel`] starts work,
+/// [`GpuSim::advance`] processes internal events up to a time, and
+/// [`GpuSim::drain_effects`] returns what happened so the engine can route
+/// memory traffic, resolve dependencies and synchronize groups.
+#[derive(Debug)]
+pub struct GpuSim {
+    cfg: GpuConfig,
+    now: SimTime,
+    queue: EventQueue<GpuEvent>,
+    tbs: HashMap<TbId, TbRuntime>,
+    kernels: HashMap<KernelId, KernelRuntime>,
+    ready: BinaryHeap<Reverse<(u64, u64, TbId)>>,
+    ready_seq: u64,
+    slots_free: usize,
+    released_groups: HashSet<GroupId>,
+    pending_group: HashMap<GroupId, Vec<TbId>>,
+    effects: Vec<(SimTime, GpuEffect)>,
+    rng: JitterRng,
+    // Slot-occupancy integral for utilization reporting.
+    occupancy_integral_ps: u128,
+    occupancy_last_change: SimTime,
+    slots_in_use: usize,
+}
+
+impl GpuSim {
+    /// Creates an idle GPU with a deterministic jitter stream.
+    pub fn new(cfg: GpuConfig, seed: u64) -> GpuSim {
+        let slots = cfg.total_slots();
+        GpuSim {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            tbs: HashMap::new(),
+            kernels: HashMap::new(),
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            slots_free: slots,
+            released_groups: HashSet::new(),
+            pending_group: HashMap::new(),
+            effects: Vec::new(),
+            rng: JitterRng::seed_from(seed),
+            occupancy_integral_ps: 0,
+            occupancy_last_change: SimTime::ZERO,
+            slots_in_use: 0,
+        }
+    }
+
+    /// The GPU's configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current local time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Launches `kernel` at `time`. TBs become ready after the launch
+    /// overhead (unless the kernel is marked [`KernelDesc::fused_launch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or the kernel id was already used.
+    pub fn launch_kernel(&mut self, time: SimTime, kernel: KernelDesc) {
+        assert!(time >= self.now, "cannot launch a kernel in the past");
+        assert!(
+            !self.kernels.contains_key(&kernel.id),
+            "kernel {} launched twice",
+            kernel.id
+        );
+        let overhead = if kernel.fused_launch {
+            SimDuration::ZERO
+        } else {
+            self.cfg.kernel_launch_overhead + self.rng.jitter(self.cfg.launch_skew)
+        };
+        self.kernels.insert(
+            kernel.id,
+            KernelRuntime {
+                remaining: kernel.tbs.len(),
+                ordered: kernel.ordered,
+            },
+        );
+        if kernel.tbs.is_empty() {
+            // Degenerate but legal: completes right after arming.
+            self.effects
+                .push((time + overhead, GpuEffect::KernelCompleted { kernel: kernel.id }));
+        }
+        for tb in kernel.tbs {
+            let id = tb.id;
+            let prev = self.tbs.insert(
+                id,
+                TbRuntime {
+                    deps_ok: kernel.tbs_auto_ready,
+                    desc: tb,
+                    kernel: kernel.id,
+                    state: TbState::Waiting,
+                    armed: false,
+                    enqueued_or_pending: false,
+                    resume_phase: 0,
+                },
+            );
+            assert!(prev.is_none(), "thread block {id} registered twice");
+        }
+        self.queue.push(time + overhead, GpuEvent::KernelArmed(kernel.id));
+    }
+
+    /// Marks a dependency-gated TB as ready (engine resolved its inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TB is unknown.
+    pub fn make_tb_ready(&mut self, time: SimTime, tb: TbId) {
+        assert!(time >= self.now, "cannot mark ready in the past");
+        let rt = self.tbs.get_mut(&tb).expect("make_tb_ready: unknown TB");
+        if rt.deps_ok {
+            return;
+        }
+        rt.deps_ok = true;
+        if rt.armed && !rt.enqueued_or_pending {
+            self.schedule_ready(time, tb);
+        }
+    }
+
+    /// Resumes a TB blocked on memory completion, pre-access sync or tile
+    /// availability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TB is not blocked.
+    pub fn resume_tb(&mut self, time: SimTime, tb: TbId) {
+        assert!(time >= self.now, "cannot resume in the past");
+        let rt = self.tbs.get_mut(&tb).expect("resume_tb: unknown TB");
+        match rt.state {
+            TbState::Blocked { phase } => {
+                rt.state = TbState::Running { phase };
+                self.queue.push(time, GpuEvent::PhaseDone(tb));
+            }
+            TbState::Yielded { phase } => {
+                // Re-enter the ready queue with top priority (the resident
+                // warp state is already on the SM; it resumes as soon as a
+                // slot frees).
+                rt.resume_phase = phase + 1;
+                rt.state = TbState::Queued;
+                let seq = self.ready_seq;
+                self.ready_seq += 1;
+                self.ready.push(Reverse((0, seq, tb)));
+                self.queue.push(time, GpuEvent::Dispatch);
+            }
+            other => panic!("resume_tb: {tb} is {other:?}, not blocked"),
+        }
+    }
+
+    /// Releases a pre-launch-gated group: its pending TBs enter the ready
+    /// queue and future TBs of the group dispatch without gating.
+    pub fn release_group(&mut self, time: SimTime, group: GroupId) {
+        assert!(time >= self.now, "cannot release in the past");
+        if !self.released_groups.insert(group) {
+            return;
+        }
+        for tb in self.pending_group.remove(&group).unwrap_or_default() {
+            self.enqueue_ready(time, tb);
+        }
+        self.queue.push(time, GpuEvent::Dispatch);
+    }
+
+    /// Timestamp of the next internal event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes every internal event at or before `until`.
+    pub fn advance(&mut self, until: SimTime) {
+        while let Some((t, ev)) = self.queue.pop_due(until) {
+            self.now = t;
+            self.handle(t, ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Takes all effects produced since the last drain, in time order.
+    pub fn drain_effects(&mut self) -> Vec<(SimTime, GpuEffect)> {
+        std::mem::take(&mut self.effects)
+    }
+
+    /// True when no TB is queued, running, blocked or pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+            && self
+                .tbs
+                .values()
+                .all(|rt| matches!(rt.state, TbState::Done))
+    }
+
+    /// Blocked/waiting TBs (diagnostics for deadlock reports).
+    pub fn stuck_tbs(&self) -> Vec<TbId> {
+        self.tbs
+            .iter()
+            .filter(|(_, rt)| !matches!(rt.state, TbState::Done))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Mean SM-slot occupancy in `[0, horizon)` (0..=1).
+    pub fn occupancy(&self, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        // Close the integral up to `horizon` for currently running slots.
+        let mut integral = self.occupancy_integral_ps;
+        let end = SimTime::ZERO + horizon;
+        if end > self.occupancy_last_change {
+            integral +=
+                self.slots_in_use as u128 * end.since(self.occupancy_last_change).as_ps() as u128;
+        }
+        integral as f64 / (self.cfg.total_slots() as u128 * horizon.as_ps() as u128) as f64
+    }
+
+    fn note_occupancy_change(&mut self, now: SimTime, delta: isize) {
+        self.occupancy_integral_ps +=
+            self.slots_in_use as u128 * now.saturating_since(self.occupancy_last_change).as_ps() as u128;
+        self.occupancy_last_change = self.occupancy_last_change.max(now);
+        self.slots_in_use = (self.slots_in_use as isize + delta) as usize;
+    }
+
+    fn schedule_ready(&mut self, time: SimTime, tb: TbId) {
+        let rt = self.tbs.get_mut(&tb).expect("schedule_ready: unknown TB");
+        rt.enqueued_or_pending = true;
+        let kernel = rt.kernel;
+        let jitter = if self.kernels[&kernel].ordered {
+            SimDuration::ZERO
+        } else {
+            self.rng.jitter(self.cfg.dispatch_jitter)
+        };
+        self.queue.push(time + jitter, GpuEvent::ReadyAt(tb));
+    }
+
+    fn enqueue_ready(&mut self, time: SimTime, tb: TbId) {
+        let rt = &self.tbs[&tb];
+        let key = if self.kernels[&rt.kernel].ordered {
+            rt.desc.order_key
+        } else {
+            match self.cfg.ready_policy {
+                ReadyPolicy::Fifo => time.as_ps(),
+                ReadyPolicy::GroupOrdered => rt.desc.order_key,
+            }
+        };
+        let seq = self.ready_seq;
+        self.ready_seq += 1;
+        self.ready.push(Reverse((key, seq, tb)));
+        self.tbs.get_mut(&tb).expect("enqueue: unknown TB").state = TbState::Queued;
+    }
+
+    fn handle(&mut self, now: SimTime, ev: GpuEvent) {
+        match ev {
+            GpuEvent::KernelArmed(kernel) => {
+                let mut ready: Vec<(u64, TbId)> = self
+                    .tbs
+                    .iter_mut()
+                    .filter(|(_, rt)| rt.kernel == kernel)
+                    .map(|(id, rt)| {
+                        rt.armed = true;
+                        (rt.desc.order_key, *id, rt.deps_ok && !rt.enqueued_or_pending)
+                    })
+                    .filter(|(_, _, go)| *go)
+                    .map(|(key, id, _)| (key, id))
+                    .collect();
+                // Deterministic arming order: hardware drains the grid in
+                // block order, and corresponding TBs on different GPUs
+                // must tie-break identically.
+                ready.sort_unstable();
+                for (_, tb) in ready {
+                    self.schedule_ready(now, tb);
+                }
+            }
+            GpuEvent::ReadyAt(tb) => {
+                let rt = &self.tbs[&tb];
+                if rt.desc.pre_launch_sync {
+                    let group = rt
+                        .desc
+                        .group
+                        .expect("pre_launch_sync TB must have a group");
+                    if !self.released_groups.contains(&group) {
+                        self.tbs.get_mut(&tb).expect("known").state = TbState::PendingGroup;
+                        self.pending_group.entry(group).or_default().push(tb);
+                        self.effects.push((
+                            now,
+                            GpuEffect::GroupSyncRequest {
+                                tb,
+                                group,
+                                kind: SyncKind::PreLaunch,
+                            },
+                        ));
+                        return;
+                    }
+                }
+                self.enqueue_ready(now, tb);
+                self.queue.push(now, GpuEvent::Dispatch);
+            }
+            GpuEvent::Dispatch => self.dispatch(now),
+            GpuEvent::PhaseDone(tb) => {
+                let rt = self.tbs.get_mut(&tb).expect("PhaseDone: unknown TB");
+                let phase = match rt.state {
+                    TbState::Running { phase } => phase,
+                    other => panic!("PhaseDone for {tb} in state {other:?}"),
+                };
+                rt.state = TbState::Running { phase: phase + 1 };
+                self.step_tb(now, tb);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime) {
+        while self.slots_free > 0 {
+            let Some(Reverse((_, _, tb))) = self.ready.pop() else {
+                break;
+            };
+            self.slots_free -= 1;
+            self.note_occupancy_change(now, 1);
+            let rt = self.tbs.get_mut(&tb).expect("dispatch: unknown TB");
+            let phase = std::mem::take(&mut rt.resume_phase);
+            rt.state = TbState::Running { phase };
+            self.step_tb(now, tb);
+        }
+    }
+
+    /// Interprets phases starting at the TB's current phase index until it
+    /// blocks, schedules a timed event, or completes.
+    fn step_tb(&mut self, now: SimTime, tb: TbId) {
+        loop {
+            let rt = self.tbs.get_mut(&tb).expect("step_tb: unknown TB");
+            let phase_idx = match rt.state {
+                TbState::Running { phase } => phase,
+                other => panic!("step_tb for {tb} in state {other:?}"),
+            };
+            if phase_idx >= rt.desc.phases.len() {
+                self.complete_tb(now, tb);
+                return;
+            }
+            // Clone the phase to end the borrow; phases are small.
+            let phase = rt.desc.phases[phase_idx].clone();
+            match phase {
+                Phase::Compute(d) => {
+                    let jitter = self.rng.jitter(self.cfg.compute_jitter);
+                    self.queue.push(now + d + jitter, GpuEvent::PhaseDone(tb));
+                    return;
+                }
+                Phase::IssueMem { ops, wait } => {
+                    self.effects.push((
+                        now,
+                        GpuEffect::MemIssued {
+                            tb,
+                            ops,
+                            blocking: wait,
+                        },
+                    ));
+                    let rt = self.tbs.get_mut(&tb).expect("known");
+                    if wait {
+                        rt.state = TbState::Blocked { phase: phase_idx };
+                        return;
+                    }
+                    rt.state = TbState::Running {
+                        phase: phase_idx + 1,
+                    };
+                }
+                Phase::SyncGroup(kind) => {
+                    let group = rt
+                        .desc
+                        .group
+                        .expect("SyncGroup phase requires a TB group");
+                    // Yield the slot for the wait: the warp scheduler
+                    // issues independent work meanwhile (paper Sec.
+                    // III-B-2), so a cross-GPU sync never pins an SM.
+                    rt.state = TbState::Yielded { phase: phase_idx };
+                    self.slots_free += 1;
+                    self.note_occupancy_change(now, -1);
+                    self.effects
+                        .push((now, GpuEffect::GroupSyncRequest { tb, group, kind }));
+                    self.queue.push(now, GpuEvent::Dispatch);
+                    return;
+                }
+                Phase::SignalTile(tile) => {
+                    rt.state = TbState::Running {
+                        phase: phase_idx + 1,
+                    };
+                    self.effects.push((now, GpuEffect::TileReady { tile }));
+                }
+                Phase::WaitTiles(tiles) => {
+                    rt.state = TbState::Blocked { phase: phase_idx };
+                    self.effects.push((now, GpuEffect::NeedTiles { tb, tiles }));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn complete_tb(&mut self, now: SimTime, tb: TbId) {
+        let rt = self.tbs.get_mut(&tb).expect("complete_tb: unknown TB");
+        rt.state = TbState::Done;
+        let kernel = rt.kernel;
+        self.slots_free += 1;
+        self.note_occupancy_change(now, -1);
+        self.effects.push((now, GpuEffect::TbCompleted { tb, kernel }));
+        let krt = self.kernels.get_mut(&kernel).expect("kernel exists");
+        krt.remaining -= 1;
+        if krt.remaining == 0 {
+            self.effects.push((now, GpuEffect::KernelCompleted { kernel }));
+        }
+        self.queue.push(now, GpuEvent::Dispatch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::KernelId;
+
+    fn quiet_cfg() -> GpuConfig {
+        GpuConfig {
+            dispatch_jitter: SimDuration::ZERO,
+            compute_jitter: SimDuration::ZERO,
+            launch_skew: SimDuration::ZERO,
+            kernel_launch_overhead: SimDuration::from_us(3),
+            sm_count: 2,
+            tb_slots_per_sm: 1,
+            ..GpuConfig::h100_half()
+        }
+    }
+
+    fn run_all(gpu: &mut GpuSim) -> Vec<(SimTime, GpuEffect)> {
+        let mut all = Vec::new();
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+            all.extend(gpu.drain_effects());
+        }
+        all
+    }
+
+    fn compute_tb(id: u64, us: u64) -> TbDesc {
+        TbDesc::compute_only(TbId(id), id, SimDuration::from_us(us))
+    }
+
+    #[test]
+    fn kernel_runs_after_launch_overhead() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![compute_tb(0, 10)]),
+        );
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .expect("kernel completed");
+        // 3 us launch overhead + 10 us compute.
+        assert_eq!(done.0, SimTime::from_us(13));
+        assert!(gpu.is_idle());
+    }
+
+    #[test]
+    fn slots_bound_parallelism() {
+        // 2 slots, 4 TBs of 10 us each => two waves => 3 + 20 us.
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let tbs = (0..4).map(|i| compute_tb(i, 10)).collect();
+        gpu.launch_kernel(SimTime::ZERO, KernelDesc::new(KernelId(0), "k", tbs));
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .unwrap();
+        assert_eq!(done.0, SimTime::from_us(23));
+    }
+
+    #[test]
+    fn fused_launch_skips_overhead() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let mut k = KernelDesc::new(KernelId(0), "fused", vec![compute_tb(0, 5)]);
+        k.fused_launch = true;
+        gpu.launch_kernel(SimTime::ZERO, k);
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .unwrap();
+        assert_eq!(done.0, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn blocking_mem_phase_waits_for_resume() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let tb = TbDesc {
+            id: TbId(0),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![
+                Phase::IssueMem {
+                    ops: vec![],
+                    wait: true,
+                },
+                Phase::Compute(SimDuration::from_us(1)),
+            ],
+        };
+        gpu.launch_kernel(SimTime::ZERO, KernelDesc::new(KernelId(0), "k", vec![tb]));
+        // Run until blocked.
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        let effects = gpu.drain_effects();
+        assert!(effects
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::MemIssued { blocking: true, .. })));
+        assert!(!gpu.is_idle());
+        // Resume at 50 us; completion at 51 us.
+        gpu.resume_tb(SimTime::from_us(50), TbId(0));
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .unwrap();
+        assert_eq!(done.0, SimTime::from_us(51));
+    }
+
+    #[test]
+    fn dependency_gated_tbs_wait_for_engine() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let mut k = KernelDesc::new(KernelId(0), "k", vec![compute_tb(0, 1)]);
+        k.tbs_auto_ready = false;
+        gpu.launch_kernel(SimTime::ZERO, k);
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        assert!(!gpu.is_idle(), "TB must not run before deps resolve");
+        gpu.make_tb_ready(SimTime::from_us(100), TbId(0));
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .unwrap();
+        assert_eq!(done.0, SimTime::from_us(101));
+    }
+
+    #[test]
+    fn pre_launch_sync_gates_dispatch() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let tb = TbDesc {
+            id: TbId(0),
+            order_key: 0,
+            group: Some(GroupId(7)),
+            pre_launch_sync: true,
+            phases: vec![Phase::Compute(SimDuration::from_us(2))],
+        };
+        gpu.launch_kernel(SimTime::ZERO, KernelDesc::new(KernelId(0), "k", vec![tb]));
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        let effects = gpu.drain_effects();
+        assert!(effects.iter().any(|(_, e)| matches!(
+            e,
+            GpuEffect::GroupSyncRequest {
+                kind: SyncKind::PreLaunch,
+                ..
+            }
+        )));
+        assert!(!gpu.is_idle());
+        gpu.release_group(SimTime::from_us(20), GroupId(7));
+        let effects = run_all(&mut gpu);
+        let done = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .unwrap();
+        assert_eq!(done.0, SimTime::from_us(22));
+    }
+
+    #[test]
+    fn group_sync_yields_the_slot() {
+        // One slot; TB A enters a group sync; TB B (no sync) must run to
+        // completion while A waits — the sync must not pin the SM.
+        let mut cfg = quiet_cfg();
+        cfg.sm_count = 1;
+        cfg.tb_slots_per_sm = 1;
+        let mut gpu = GpuSim::new(cfg, 1);
+        let syncer = TbDesc {
+            id: TbId(0),
+            order_key: 0,
+            group: Some(GroupId(1)),
+            pre_launch_sync: false,
+            phases: vec![
+                Phase::SyncGroup(SyncKind::PreAccess),
+                Phase::Compute(SimDuration::from_us(1)),
+            ],
+        };
+        let worker = compute_tb(1, 2);
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![syncer, worker]),
+        );
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        let fx = gpu.drain_effects();
+        // The worker completed even though the syncer is still waiting.
+        assert!(fx
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::TbCompleted { tb, .. } if *tb == TbId(1))));
+        assert!(!gpu.is_idle());
+        // Resume the syncer; it re-acquires the slot and finishes.
+        gpu.resume_tb(SimTime::from_us(30), TbId(0));
+        let fx = run_all(&mut gpu);
+        assert!(fx
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. })));
+        assert!(gpu.is_idle());
+    }
+
+    #[test]
+    fn ordered_kernel_ignores_jitter_and_respects_order_key() {
+        let mut cfg = quiet_cfg();
+        cfg.dispatch_jitter = SimDuration::from_us(50);
+        cfg.sm_count = 1;
+        cfg.tb_slots_per_sm = 1;
+        let mut gpu = GpuSim::new(cfg, 99);
+        let a = TbDesc {
+            order_key: 1,
+            ..compute_tb(0, 1)
+        };
+        let b = TbDesc {
+            order_key: 0,
+            ..compute_tb(1, 1)
+        };
+        let mut k = KernelDesc::new(KernelId(0), "coll", vec![a, b]);
+        k.ordered = true;
+        gpu.launch_kernel(SimTime::ZERO, k);
+        let fx = run_all(&mut gpu);
+        let order: Vec<TbId> = fx
+            .iter()
+            .filter_map(|(_, e)| match e {
+                GpuEffect::TbCompleted { tb, .. } => Some(*tb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![TbId(1), TbId(0)]);
+        // No dispatch jitter: total = 3us launch + 2us compute exactly.
+        let done = fx
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+            .map(|(t, _)| *t)
+            .unwrap();
+        assert_eq!(done, SimTime::from_us(5));
+    }
+
+    #[test]
+    fn signal_and_wait_tiles_emit_effects() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        let producer = TbDesc {
+            id: TbId(0),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![
+                Phase::Compute(SimDuration::from_us(1)),
+                Phase::SignalTile(TileId(5)),
+            ],
+        };
+        let consumer = TbDesc {
+            id: TbId(1),
+            order_key: 1,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![
+                Phase::WaitTiles(vec![TileId(5)]),
+                Phase::Compute(SimDuration::from_us(1)),
+            ],
+        };
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![producer, consumer]),
+        );
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        let effects = gpu.drain_effects();
+        let tile_ready_at = effects
+            .iter()
+            .find(|(_, e)| matches!(e, GpuEffect::TileReady { tile } if *tile == TileId(5)))
+            .map(|(t, _)| *t)
+            .expect("tile signaled");
+        assert_eq!(tile_ready_at, SimTime::from_us(4));
+        assert!(effects
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::NeedTiles { tb, .. } if *tb == TbId(1))));
+        // Engine would resume the consumer now.
+        gpu.resume_tb(tile_ready_at, TbId(1));
+        let effects = run_all(&mut gpu);
+        assert!(effects
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. })));
+    }
+
+    #[test]
+    fn group_ordered_policy_ignores_arrival_order() {
+        let mut cfg = quiet_cfg();
+        cfg.ready_policy = ReadyPolicy::GroupOrdered;
+        cfg.sm_count = 1; // one slot: strict serialization exposes order
+        let mut gpu = GpuSim::new(cfg, 1);
+        // order_key reversed relative to launch order within the grid.
+        let tb_a = TbDesc {
+            order_key: 1,
+            ..compute_tb(0, 1)
+        };
+        let tb_b = TbDesc {
+            order_key: 0,
+            ..compute_tb(1, 1)
+        };
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![tb_a, tb_b]),
+        );
+        let effects = run_all(&mut gpu);
+        let order: Vec<TbId> = effects
+            .iter()
+            .filter_map(|(_, e)| match e {
+                GpuEffect::TbCompleted { tb, .. } => Some(*tb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order, vec![TbId(1), TbId(0)], "order_key must win");
+    }
+
+    #[test]
+    fn dispatch_jitter_staggers_identical_gpus() {
+        let mut cfg = quiet_cfg();
+        cfg.dispatch_jitter = SimDuration::from_us(8);
+        let mk = |seed| {
+            let mut gpu = GpuSim::new(cfg.clone(), seed);
+            gpu.launch_kernel(
+                SimTime::ZERO,
+                KernelDesc::new(KernelId(0), "k", vec![compute_tb(0, 10)]),
+            );
+            let fx = run_all(&mut gpu);
+            fx.iter()
+                .find(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. }))
+                .map(|(t, _)| *t)
+                .unwrap()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        assert_ne!(a, b, "different seeds must drift");
+        let spread = a.max(b).since(a.min(b));
+        assert!(spread < SimDuration::from_us(8));
+    }
+
+    #[test]
+    fn occupancy_reflects_busy_fraction() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1); // 2 slots
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![compute_tb(0, 10)]),
+        );
+        run_all(&mut gpu);
+        // One of two slots busy for 10 of 13 us.
+        let occ = gpu.occupancy(SimDuration::from_us(13));
+        assert!((occ - 10.0 / 26.0).abs() < 0.01, "occupancy {occ}");
+    }
+
+    #[test]
+    #[should_panic(expected = "launched twice")]
+    fn duplicate_kernel_id_panics() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k", vec![compute_tb(0, 1)]),
+        );
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(KernelId(0), "k2", vec![compute_tb(1, 1)]),
+        );
+    }
+
+    #[test]
+    fn empty_kernel_completes() {
+        let mut gpu = GpuSim::new(quiet_cfg(), 1);
+        gpu.launch_kernel(SimTime::ZERO, KernelDesc::new(KernelId(0), "empty", vec![]));
+        let effects = run_all(&mut gpu);
+        assert!(effects
+            .iter()
+            .any(|(_, e)| matches!(e, GpuEffect::KernelCompleted { .. })));
+    }
+}

@@ -1,0 +1,176 @@
+//! Design-choice ablations beyond the paper's figures.
+//!
+//! DESIGN.md calls out three lowering/architecture choices worth
+//! sensitivity analysis:
+//!
+//! 1. **`red.cais` packet granularity** — how finely reduction tiles are
+//!    split into mergeable switch packets (the paper's hardware works on
+//!    128 B lines; our simulator defaults to 8 KB);
+//! 2. **throttle credits** — the per-(GPU, plane) outstanding-request cap
+//!    that backs TB-aware request throttling;
+//! 3. **cross-layer fusion** — whether the graph-level optimizer's
+//!    ability to fuse across *layer* boundaries (the L2/L4 patterns)
+//!    materializes as end-to-end gains on a multi-layer stack.
+
+use crate::runner::{Scale, Table};
+use cais_core::CaisStrategy;
+use cais_engine::strategy::execute;
+use llm_workload::{sublayer, transformer_stack, ModelConfig, Pass, SubLayer, TpMode};
+
+/// Runs all three ablations.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![
+        run_packet_size(scale),
+        run_credits(scale),
+        run_multi_layer(scale),
+    ]
+}
+
+fn ablation_model(scale: Scale) -> ModelConfig {
+    match scale {
+        Scale::Paper => ModelConfig::llama_7b(),
+        Scale::Smoke => ModelConfig {
+            hidden: 2048,
+            ffn_hidden: 5632,
+            heads: 16,
+            seq_len: 1536,
+            batch: 2,
+            ..ModelConfig::llama_7b()
+        },
+    }
+}
+
+/// Ablation 1: reduction packet granularity.
+pub fn run_packet_size(scale: Scale) -> Table {
+    let model = ablation_model(scale);
+    let cfg = scale.system();
+    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+    let sizes: Vec<u64> = match scale {
+        Scale::Paper => vec![2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10],
+        Scale::Smoke => vec![4 << 10, 8 << 10, 32 << 10],
+    };
+    let mut table = Table::new(
+        "abl-packet",
+        "CAIS sensitivity to red.cais packet granularity (L2)",
+        vec!["time_us".into(), "peak_table_kb".into()],
+    );
+    for bytes in sizes {
+        let r = execute(
+            &CaisStrategy::full()
+                .with_packet_bytes(bytes)
+                .with_merge_table(None),
+            &dfg,
+            &cfg,
+        );
+        table.push(
+            format!("{} KB", bytes >> 10),
+            vec![
+                r.total.as_us_f64(),
+                r.stat("cais.peak_port_occupancy").unwrap_or(0.0) / 1024.0,
+            ],
+        );
+    }
+    table.notes = "finer packets shrink the required merge table (shorter session \
+                   lifetimes) at the cost of more switch transactions"
+        .into();
+    table
+}
+
+/// Ablation 2: throttle credits.
+pub fn run_credits(scale: Scale) -> Table {
+    let model = ablation_model(scale);
+    let cfg = scale.system();
+    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+    let settings: Vec<(String, Option<usize>)> = vec![
+        ("8".into(), Some(8)),
+        ("16".into(), Some(16)),
+        ("64 (default)".into(), Some(64)),
+        ("256".into(), Some(256)),
+        ("unthrottled".into(), None),
+    ];
+    let mut table = Table::new(
+        "abl-credits",
+        "CAIS sensitivity to throttle credits per (GPU, plane) (L2, 40 KB table)",
+        vec!["time_us".into(), "evictions".into()],
+    );
+    for (label, credits) in settings {
+        let r = execute(&CaisStrategy::full().with_credits(credits), &dfg, &cfg);
+        let evictions = r.stat("cais.evictions_lru").unwrap_or(0.0)
+            + r.stat("cais.evictions_timeout").unwrap_or(0.0);
+        table.push(label, vec![r.total.as_us_f64(), evictions]);
+    }
+    table.notes = "too few credits starve the links; too many overflow the table \
+                   (evictions) when requests burst"
+        .into();
+    table
+}
+
+/// Ablation 3: cross-layer fusion on a 2-layer stack.
+pub fn run_multi_layer(scale: Scale) -> Table {
+    let model = ablation_model(scale);
+    let cfg = scale.system();
+    let layers = 2;
+    let stack = transformer_stack(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward, layers);
+    let single = transformer_stack(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward, 1);
+    let mut table = Table::new(
+        "abl-stack",
+        "cross-layer fusion: 2-layer stack vs 2x single layer",
+        vec!["time_us".into()],
+    );
+    for (label, strategy) in [
+        ("CAIS stack", CaisStrategy::full()),
+        ("CAIS-Base stack", CaisStrategy::base()),
+    ] {
+        let r = execute(&strategy, &stack, &cfg);
+        table.push(label, vec![r.total.as_us_f64()]);
+    }
+    let single_cais = execute(&CaisStrategy::full(), &single, &cfg);
+    table.push(
+        "2 x CAIS single layer",
+        vec![2.0 * single_cais.total.as_us_f64()],
+    );
+    table.notes = "the stack under CAIS should beat two isolated layers: the layer \
+                   boundary is an L2-shaped RS+LN+AG chain the optimizer pipelines"
+        .into();
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_packets_shrink_the_required_table() {
+        let t = run_packet_size(Scale::Smoke);
+        let first = &t.rows.first().unwrap(); // 4 KB
+        let last = &t.rows.last().unwrap(); // 32 KB
+        assert!(
+            first.1[1] < last.1[1],
+            "4 KB packets ({:.0} KB table) should need less than 32 KB packets ({:.0} KB)",
+            first.1[1],
+            last.1[1]
+        );
+    }
+
+    #[test]
+    fn starvation_credits_hurt() {
+        let t = run_credits(Scale::Smoke);
+        let tight = t.rows[0].1[0];
+        let default = t.rows[2].1[0];
+        assert!(
+            tight >= default * 0.95,
+            "8 credits ({tight:.0} us) should not beat the default ({default:.0} us) meaningfully"
+        );
+    }
+
+    #[test]
+    fn stack_fusion_does_not_regress() {
+        let t = run_multi_layer(Scale::Smoke);
+        let stack = t.rows[0].1[0];
+        let two_singles = t.rows[2].1[0];
+        assert!(
+            stack <= two_singles * 1.05,
+            "fused stack {stack:.0} us vs 2x single {two_singles:.0} us"
+        );
+    }
+}

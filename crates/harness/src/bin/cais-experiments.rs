@@ -1,0 +1,60 @@
+//! CLI to regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|all] [--smoke]
+//! ```
+
+use cais_harness::{runner::Scale, Table};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    let experiments: Vec<(&str, fn(Scale) -> Vec<Table>)> = vec![
+        ("fig2", cais_harness::fig02::run),
+        ("fig11", cais_harness::fig11::run),
+        ("fig12", cais_harness::fig12::run),
+        ("fig13", cais_harness::fig13::run),
+        ("fig14", cais_harness::fig14::run),
+        ("fig15", cais_harness::fig15::run),
+        ("fig16", cais_harness::fig16::run),
+        ("fig17", cais_harness::fig17::run),
+        ("fig18", cais_harness::fig18::run),
+        ("table2", cais_harness::table2::run),
+        ("area", cais_harness::area::run),
+        ("ablations", cais_harness::ablations::run),
+        ("sensitivity", cais_harness::sensitivity::run),
+    ];
+
+    let run_all = which.contains(&"all");
+    let mut ran = 0;
+    for (name, f) in &experiments {
+        if run_all || which.contains(name) {
+            let t0 = Instant::now();
+            for table in f(scale) {
+                println!("{}", table.render());
+            }
+            eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment {which:?}; options: {} all",
+            experiments
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Diagnostic probe: dump timelines and switch statistics for one
+//! sub-layer under several strategies. Not part of the experiment suite.
+
+use cais_baselines::BaselineStrategy;
+use cais_core::CaisStrategy;
+use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
+use cais_harness::runner::Scale;
+use llm_workload::{sublayer, ModelConfig, SubLayer};
+use sim_core::GpuId;
+
+fn dump(name: &str, r: &ExecReport) {
+    println!("--- {name} ---");
+    println!(
+        "total {}  occupancy {:.1}%  link-util {:.1}%  dedup {}",
+        r.total,
+        r.mean_occupancy() * 100.0,
+        r.fabric.mean_utilization() * 100.0,
+        r.deduped_fetches
+    );
+    let mut spans: Vec<_> = r
+        .kernel_spans
+        .values()
+        .filter(|s| s.gpu == GpuId(0))
+        .collect();
+    spans.sort_by_key(|s| s.start);
+    for s in spans {
+        println!("  [{:>10} - {:>10}] {}", s.start.to_string(), s.end.to_string(), s.name);
+    }
+    for (k, v) in &r.logic_stats {
+        println!("  {k} = {v}");
+    }
+    println!();
+}
+
+fn main() {
+    let scale = Scale::Smoke;
+    let model = scale.model(&ModelConfig::llama_7b());
+    let cfg: SystemConfig = scale.system();
+    let dfg = sublayer(&model, cfg.tp(), SubLayer::L1);
+    eprintln!(
+        "model {} hidden={} ffn={} T={} | flops/gpu {:.2} GF, coll bytes {} MB",
+        model.name,
+        model.hidden,
+        model.ffn_hidden,
+        model.tokens(),
+        dfg.total_flops() / 1e9,
+        dfg.total_collective_bytes() >> 20
+    );
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(BaselineStrategy::sp_nvls()),
+        Box::new(BaselineStrategy::tp_nvls()),
+        Box::new(CaisStrategy::base()),
+        Box::new(CaisStrategy::partial()),
+        Box::new(CaisStrategy::full()),
+    ];
+    for s in &strategies {
+        let r = execute(s.as_ref(), &dfg, &cfg);
+        dump(s.name(), &r);
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 2 — computation vs. communication time when scaling up.
+//!
+//! LLaMA-7B under TP with NVLS collectives, varying the TP degree.
+//! The paper's observation: communication overtakes computation beyond
+//! 4–8 GPUs; at 8 GPUs communication is ~1.6x computation.
+
+use crate::runner::{Scale, Table};
+use cais_baselines::BaselineStrategy;
+use cais_engine::strategy::execute;
+use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let gpu_counts: Vec<usize> = match scale {
+        Scale::Paper => vec![2, 4, 8, 16],
+        Scale::Smoke => vec![2, 4],
+    };
+    // The figure's premise (per-GPU compute shrinking against a fixed
+    // collective volume) needs real work to dominate launch overheads,
+    // so the smoke variant halves rather than quarters the model.
+    let model = match scale {
+        Scale::Paper => ModelConfig::llama_7b(),
+        Scale::Smoke => ModelConfig {
+            hidden: 2048,
+            ffn_hidden: 5632,
+            heads: 16,
+            seq_len: 1536,
+            batch: 2,
+            ..ModelConfig::llama_7b()
+        },
+    };
+    let mut table = Table::new(
+        "fig02",
+        "LLaMA-7B per-layer compute vs. communication time (TP-NVLS)",
+        vec![
+            "compute_us".into(),
+            "comm_us".into(),
+            "comm/compute".into(),
+        ],
+    );
+    for p in gpu_counts {
+        let mut cfg = scale.system();
+        cfg.n_gpus = p;
+        cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
+        // This figure is about the compute/communication balance, not
+        // launch noise; quiesce the host-side skew so the per-layer
+        // times reflect work, not jitter.
+        cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
+        cfg.gpu.dispatch_jitter = sim_core::SimDuration::from_us(1);
+        let strategy = BaselineStrategy::tp_nvls();
+        let dfg = transformer_layer(&model, p as u64, TpMode::BasicTp, Pass::Forward);
+        let report = execute(&strategy, &dfg, &cfg);
+        let comm = report.kernel_time_with_prefix("coll.").as_us_f64();
+        let total_named: f64 = report
+            .kernel_spans
+            .values()
+            .filter(|s| s.gpu == sim_core::GpuId(0))
+            .map(|s| s.duration().as_us_f64())
+            .sum();
+        let compute = total_named - comm;
+        table.push(
+            format!("{p} GPUs"),
+            vec![compute, comm, if compute > 0.0 { comm / compute } else { 0.0 }],
+        );
+    }
+    table.notes =
+        "paper: communication overtakes compute beyond 4-8 GPUs; ~1.6x at 8 GPUs".into();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_share_grows_with_gpus() {
+        let tables = run(Scale::Smoke);
+        let t = &tables[0];
+        let r2 = t.cell("2 GPUs", "comm/compute").unwrap();
+        let r4 = t.cell("4 GPUs", "comm/compute").unwrap();
+        assert!(
+            r4 > 1.2 * r2,
+            "communication share must grow with TP degree: {r2} vs {r4}"
+        );
+    }
+}

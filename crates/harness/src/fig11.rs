@@ -1,0 +1,79 @@
+//! Fig. 11 — end-to-end model speedup across training and inference.
+//!
+//! CAIS's speedup over every baseline for the three Table-I models, on
+//! both the communication-heavy prefill (inference) and one training
+//! step of a transformer layer. The paper's headline geomeans: 1.38x
+//! over TP-NVLS, ~1.9x over SP-NVLS/CoCoNet/FuseLib, 1.61x over T3,
+//! 1.2-1.25x over the NVLS-enhanced overlappers, 1.45x over T3-NVLS,
+//! ~7.6x over LADM, and ~1.45x over CAIS-Base.
+
+use crate::runner::{roster, run_layer, Scale, Table};
+use llm_workload::{ModelConfig, Pass};
+use sim_core::stats::geomean;
+
+/// Runs the experiment. One table per phase (inference, training).
+pub fn run(scale: Scale) -> Vec<Table> {
+    let models: Vec<ModelConfig> = match scale {
+        Scale::Paper => ModelConfig::table1(),
+        Scale::Smoke => vec![Scale::Smoke.model(&ModelConfig::mega_gpt_4b())],
+    };
+    let passes: Vec<(&str, Pass)> = match scale {
+        Scale::Paper => vec![("inference", Pass::Forward), ("training", Pass::Training)],
+        Scale::Smoke => vec![("inference", Pass::Forward)],
+    };
+
+    let mut tables = Vec::new();
+    for (phase, pass) in passes {
+        let mut columns: Vec<String> = models.iter().map(|m| m.name.to_string()).collect();
+        columns.push("geomean".into());
+        let mut table = Table::new(
+            "fig11",
+            format!("CAIS end-to-end speedup, {phase}"),
+            columns,
+        );
+        // Measure every strategy on every model.
+        let cfg = scale.system();
+        let entries = roster();
+        let mut times = vec![vec![0.0f64; models.len()]; entries.len()];
+        for (si, entry) in entries.iter().enumerate() {
+            for (mi, model) in models.iter().enumerate() {
+                let report = run_layer(entry, model, &cfg, pass);
+                times[si][mi] = report.total.as_secs_f64();
+            }
+        }
+        let cais_idx = entries.len() - 1;
+        for (si, entry) in entries.iter().enumerate() {
+            let mut speedups: Vec<f64> = (0..models.len())
+                .map(|mi| times[si][mi] / times[cais_idx][mi])
+                .collect();
+            speedups.push(geomean(&speedups));
+            table.push(format!("vs {}", entry.strategy.name()), speedups);
+        }
+        table.notes = "values are CAIS time advantage over each system (>1 = CAIS faster); \
+                       paper geomeans: TP-NVLS 1.38, SP-NVLS 1.89, CoCoNet 1.98, FuseLib 1.90, \
+                       T3 1.61, CoCoNet-NVLS 1.25, FuseLib-NVLS 1.21, T3-NVLS 1.45, LADM 7.6, \
+                       CAIS-Base ~1.45"
+            .into();
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cais_beats_every_baseline_in_smoke_run() {
+        let tables = run(Scale::Smoke);
+        let t = &tables[0];
+        for (label, values) in &t.rows {
+            let geo = *values.last().unwrap();
+            if label == "vs CAIS" {
+                assert!((geo - 1.0).abs() < 1e-9);
+            } else {
+                assert!(geo > 1.0, "{label} should trail CAIS, got {geo:.3}");
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 12 — sub-layer performance speedup (L1–L4).
+//!
+//! The four GEMM-RS → LN → AG-GEMM sub-layers are the graph-level
+//! optimizer's home turf; paper geomeans run slightly above the
+//! end-to-end numbers (e.g. 1.39x over TP-NVLS, 1.64x over T3, 7.9x
+//! over LADM).
+
+use crate::runner::{roster, run_graph, Scale, Table};
+use llm_workload::{sublayer, ModelConfig, SubLayer};
+use sim_core::stats::geomean;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let model = scale.model(&ModelConfig::llama_7b());
+    let sublayers: Vec<SubLayer> = match scale {
+        Scale::Paper => SubLayer::ALL.to_vec(),
+        Scale::Smoke => vec![SubLayer::L1, SubLayer::L2],
+    };
+    let mut columns: Vec<String> = sublayers.iter().map(|s| s.label().to_string()).collect();
+    columns.push("geomean".into());
+    let mut table = Table::new(
+        "fig12",
+        format!("CAIS sub-layer speedup on {}", model.name),
+        columns,
+    );
+
+    let cfg = scale.system();
+    let entries = roster();
+    let mut times = vec![vec![0.0f64; sublayers.len()]; entries.len()];
+    for (si, entry) in entries.iter().enumerate() {
+        for (li, which) in sublayers.iter().enumerate() {
+            let dfg = sublayer(&model, cfg.tp(), *which);
+            let report = run_graph(entry, &dfg, &cfg);
+            times[si][li] = report.total.as_secs_f64();
+        }
+    }
+    let cais_idx = entries.len() - 1;
+    for (si, entry) in entries.iter().enumerate() {
+        let mut speedups: Vec<f64> = (0..sublayers.len())
+            .map(|li| times[si][li] / times[cais_idx][li])
+            .collect();
+        speedups.push(geomean(&speedups));
+        table.push(format!("vs {}", entry.strategy.name()), speedups);
+    }
+    table.notes =
+        "all systems run the same RS+LN+AG sub-layer graph; paper geomeans: TP-NVLS 1.39, \
+         SP-NVLS 1.91, T3 1.64, T3-NVLS 1.47, LADM 7.9, CAIS-Base ~1.47"
+            .into();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sublayer_speedups_favor_cais() {
+        let tables = run(Scale::Smoke);
+        let t = &tables[0];
+        for (label, values) in &t.rows {
+            if label != "vs CAIS" {
+                let geo = *values.last().unwrap();
+                assert!(geo > 0.95, "{label}: {geo:.3}");
+            }
+        }
+        // The stripped-down CAIS-Base must clearly trail full CAIS here.
+        let base = t.cell("vs CAIS-Base", "geomean").unwrap();
+        assert!(base > 1.05, "CAIS-Base geomean {base:.3}");
+    }
+}

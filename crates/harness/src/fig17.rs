@@ -1,0 +1,74 @@
+//! Fig. 17 — scalability with increasing GPU count.
+//!
+//! Per-GPU throughput of CAIS and CoCoNet-NVLS as the system grows,
+//! with the model's hidden dimensions scaled proportionally (so per-GPU
+//! work stays constant). The paper reports <5% per-GPU throughput drop
+//! from 8 to 32 GPUs.
+
+use crate::runner::{Scale, Table};
+use cais_baselines::BaselineStrategy;
+use cais_core::CaisStrategy;
+use cais_engine::strategy::execute;
+use cais_engine::Strategy;
+use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (base_p, gpu_counts): (usize, Vec<usize>) = match scale {
+        Scale::Paper => (8, vec![8, 16, 32]),
+        Scale::Smoke => (4, vec![4, 8]),
+    };
+    let base_model = scale.model(&ModelConfig::llama_7b());
+    let mut table = Table::new(
+        "fig17",
+        "per-GPU throughput normalized to CAIS at the base GPU count",
+        vec!["CAIS".into(), "CoCoNet-NVLS".into()],
+    );
+
+    let mut results: Vec<(usize, f64, f64)> = Vec::new();
+    for &p in &gpu_counts {
+        let model = base_model.scale_hidden(p as u64, base_p as u64);
+        let mut cfg = scale.system();
+        cfg.n_gpus = p;
+        cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
+        let mode_for = |s: &dyn Strategy| {
+            if s.name().contains("CoCoNet") {
+                TpMode::BasicTp
+            } else {
+                TpMode::SeqPar
+            }
+        };
+        let throughput = |s: &dyn Strategy| {
+            let dfg = transformer_layer(&model, p as u64, mode_for(s), Pass::Forward);
+            let flops = dfg.total_flops();
+            let report = execute(s, &dfg, &cfg);
+            flops / report.total.as_secs_f64()
+        };
+        let cais = throughput(&CaisStrategy::full());
+        let coco = throughput(&BaselineStrategy::coconet_nvls());
+        results.push((p, cais, coco));
+    }
+    let norm = results[0].1;
+    for (p, cais, coco) in results {
+        table.push(format!("{p} GPUs"), vec![cais / norm, coco / norm]);
+    }
+    table.notes = "paper: CAIS per-GPU throughput drop stays within 5% up to 32 GPUs".into();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_gpu_throughput_stays_flat() {
+        let t = &run(Scale::Smoke)[0];
+        let first = t.rows.first().unwrap().1[0];
+        let last = t.rows.last().unwrap().1[0];
+        assert!((first - 1.0).abs() < 1e-9);
+        assert!(
+            last > 0.75,
+            "per-GPU CAIS throughput should not collapse when scaling: {last:.3}"
+        );
+    }
+}

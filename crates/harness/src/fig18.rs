@@ -1,0 +1,101 @@
+//! Fig. 18 — validation of the simulated NVLS against a reference.
+//!
+//! The paper validates its `multimem`-enabled simulator against NCCL on
+//! real DGX-H100 hardware (1–16 GB AllReduce, mean error 3.87%). We do
+//! not have the testbed, so the reference here is an **analytic NCCL
+//! NVLS model** (documented in EXPERIMENTS.md): effective AllReduce
+//! algorithm bandwidth of ~95% of the 450 GB/s per-direction link rate
+//! plus a fixed launch/protocol latency. The experiment reports the same
+//! quantity the paper plots — achieved AllReduce bandwidth per message
+//! size — plus the simulation-vs-reference error.
+
+use crate::runner::{Scale, Table};
+use cais_engine::{IdAlloc, Program, SystemConfig, SystemSim};
+use gpu_sim::KernelCost;
+use nvls::{nvls_all_reduce, NvlsLogic};
+
+/// Analytic reference: NCCL NVLS AllReduce time for `bytes` on 8 GPUs.
+pub fn reference_time_secs(bytes: u64) -> f64 {
+    const EFFECTIVE_BW: f64 = 0.97 * 450e9; // protocol-derated link rate
+    const BASE_LATENCY: f64 = 12e-6; // launch + fan-in/fan-out
+    bytes as f64 / EFFECTIVE_BW + BASE_LATENCY
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let sizes: Vec<u64> = match scale {
+        Scale::Paper => vec![1, 2, 4, 8, 16]
+            .into_iter()
+            .map(|gb| gb * (1 << 30))
+            .collect(),
+        Scale::Smoke => vec![64 << 20, 256 << 20],
+    };
+    let mut table = Table::new(
+        "fig18",
+        "simulated NVLS AllReduce vs NCCL-style analytic reference",
+        vec![
+            "sim_GBps".into(),
+            "ref_GBps".into(),
+            "error_%".into(),
+        ],
+    );
+    let mut errors = Vec::new();
+    for &bytes in &sizes {
+        let mut cfg = SystemConfig::dgx_h100();
+        // Chunks small enough that the address hash spreads work across
+        // all four planes, large enough to bound the event count; coarse
+        // arbitration keeps events proportional to size/segment.
+        cfg.coll_chunk_bytes = 1 << 20;
+        cfg.fabric.segment_bytes = 256 * 1024;
+        cfg.deadline = sim_core::SimTime::from_ms(120_000);
+        // NCCL-style benchmarks report steady-state loop timings, so the
+        // one-shot launch noise is excluded here.
+        cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
+        cfg.gpu.dispatch_jitter = sim_core::SimDuration::ZERO;
+        cfg.gpu.compute_jitter = sim_core::SimDuration::ZERO;
+        let cost = KernelCost::new(&cfg.gpu);
+        let mut prog = Program::new();
+        let mut ids = IdAlloc::new(cfg.n_gpus);
+        nvls_all_reduce(&mut prog, &mut ids, &cfg, &cost, "ar", bytes, &[], None);
+        let n = cfg.n_gpus;
+        let report = SystemSim::new(cfg, prog, Box::new(NvlsLogic::new(n))).run();
+        let sim_t = report.total.as_secs_f64();
+        let ref_t = reference_time_secs(bytes);
+        let sim_bw = bytes as f64 / sim_t / 1e9;
+        let ref_bw = bytes as f64 / ref_t / 1e9;
+        let err = ((sim_t - ref_t) / ref_t).abs() * 100.0;
+        errors.push(err);
+        table.push(
+            format!("{} MB", bytes >> 20),
+            vec![sim_bw, ref_bw, err],
+        );
+    }
+    let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+    table.push("mean_error", vec![0.0, 0.0, mean_err]);
+    table.notes = format!(
+        "paper reports 3.87% mean error vs real hardware; our reference is an analytic \
+         NCCL-NVLS model (see EXPERIMENTS.md); mean error here: {mean_err:.2}%"
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_nvls_tracks_reference_within_ten_percent() {
+        let t = &run(Scale::Smoke)[0];
+        let (_, v) = t.rows.last().unwrap();
+        assert!(
+            v[2] < 10.0,
+            "mean NVLS validation error too high: {:.2}%",
+            v[2]
+        );
+    }
+
+    #[test]
+    fn reference_model_is_monotone() {
+        assert!(reference_time_secs(2 << 30) > reference_time_secs(1 << 30));
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared experiment plumbing: scales, strategy roster, result tables.
+
+use cais_baselines::{BaselineStrategy, LadmStrategy};
+use cais_core::CaisStrategy;
+use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
+use llm_workload::{transformer_layer, Dfg, ModelConfig, Pass, TpMode};
+use std::fmt::Write as _;
+
+/// Experiment size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration (Table I models on 8 half-scale H100s).
+    Paper,
+    /// Reduced dimensions for fast smoke runs/tests.
+    Smoke,
+}
+
+impl Scale {
+    /// Scales a Table-I model down for smoke runs.
+    pub fn model(self, base: &ModelConfig) -> ModelConfig {
+        match self {
+            Scale::Paper => base.clone(),
+            Scale::Smoke => ModelConfig {
+                hidden: (base.hidden / 4).max(1024),
+                ffn_hidden: (base.ffn_hidden / 4).max(2048),
+                heads: (base.heads / 4).max(8),
+                seq_len: (base.seq_len / 4).max(256),
+                batch: (base.batch / 2).max(1),
+                ..base.clone()
+            },
+        }
+    }
+
+    /// The base system configuration for this scale.
+    pub fn system(self) -> SystemConfig {
+        let mut cfg = SystemConfig::dgx_h100();
+        if self == Scale::Smoke {
+            cfg.coll_chunk_bytes = 256 * 1024;
+        }
+        cfg
+    }
+}
+
+/// A printable experiment result.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Short id ("fig11", "table2", ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers (after the row label).
+    pub columns: Vec<String>,
+    /// Rows: label + one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes (paper reference values, caveats).
+    pub notes: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == col)?;
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .map(|(_, v)| v[ci])
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, " {c:>12}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in values {
+                if v.abs() >= 1000.0 {
+                    let _ = write!(out, " {v:>12.0}");
+                } else {
+                    let _ = write!(out, " {v:>12.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "  note: {}", self.notes);
+        }
+        out
+    }
+}
+
+/// A named strategy plus the TP flavour of the graph it runs on.
+pub struct Entry {
+    /// The strategy.
+    pub strategy: Box<dyn Strategy>,
+    /// Which parallelism layout its graphs use.
+    pub mode: TpMode,
+}
+
+impl Entry {
+    fn new(strategy: impl Strategy + 'static, mode: TpMode) -> Entry {
+        Entry {
+            strategy: Box::new(strategy),
+            mode,
+        }
+    }
+}
+
+/// The Fig. 11/12 roster: nine baselines, the CAIS-Base ablation, and
+/// CAIS. TP-NVLS and the GEMM+AllReduce pipeliners run Basic TP graphs;
+/// sequence-parallel systems run SP graphs — each system gets the layout
+/// it was designed for, as in the paper.
+pub fn roster() -> Vec<Entry> {
+    vec![
+        Entry::new(BaselineStrategy::tp_nvls(), TpMode::BasicTp),
+        Entry::new(BaselineStrategy::sp_nvls(), TpMode::SeqPar),
+        Entry::new(BaselineStrategy::coconet(), TpMode::BasicTp),
+        Entry::new(BaselineStrategy::fuselib(), TpMode::BasicTp),
+        Entry::new(BaselineStrategy::t3(), TpMode::SeqPar),
+        Entry::new(BaselineStrategy::coconet_nvls(), TpMode::BasicTp),
+        Entry::new(BaselineStrategy::fuselib_nvls(), TpMode::BasicTp),
+        Entry::new(BaselineStrategy::t3_nvls(), TpMode::SeqPar),
+        Entry::new(LadmStrategy::new(), TpMode::SeqPar),
+        Entry::new(CaisStrategy::base(), TpMode::SeqPar),
+        Entry::new(CaisStrategy::full(), TpMode::SeqPar),
+    ]
+}
+
+/// Executes one strategy on a transformer layer of `model`.
+pub fn run_layer(
+    entry: &Entry,
+    model: &ModelConfig,
+    cfg: &SystemConfig,
+    pass: Pass,
+) -> ExecReport {
+    let dfg = transformer_layer(model, cfg.tp(), entry.mode, pass);
+    execute(entry.strategy.as_ref(), &dfg, cfg)
+}
+
+/// Executes one strategy on an arbitrary graph.
+pub fn run_graph(entry: &Entry, dfg: &Dfg, cfg: &SystemConfig) -> ExecReport {
+    execute(entry.strategy.as_ref(), dfg, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_cell() {
+        let mut t = Table::new("t", "demo", vec!["a".into(), "b".into()]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![3.0, 4.5]);
+        assert_eq!(t.cell("row2", "b"), Some(4.5));
+        assert_eq!(t.cell("nope", "b"), None);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("row1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", vec!["a".into()]);
+        t.push("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn roster_has_eleven_entries() {
+        let r = roster();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r[0].strategy.name(), "TP-NVLS");
+        assert_eq!(r[10].strategy.name(), "CAIS");
+    }
+
+    #[test]
+    fn smoke_scale_shrinks_models() {
+        let base = ModelConfig::llama_7b();
+        let small = Scale::Smoke.model(&base);
+        assert!(small.hidden < base.hidden);
+        assert!(small.hidden % 8 == 0, "TP divisibility preserved");
+    }
+}

@@ -1,0 +1,92 @@
+//! Fabric-bandwidth sensitivity: where does the paper's regime live?
+//!
+//! EXPERIMENTS.md attributes every compressed speedup factor to one
+//! calibration difference: our simulated fabric moves collectives at
+//! ~95% of the 450 GB/s/direction link rate, while the paper's
+//! NCCL-over-BookSim2 stack is substantially less efficient at
+//! tens-of-MB messages, making its workload communication-bound
+//! (Fig. 2: comm = 1.6x compute at 8 GPUs). This experiment tests that
+//! explanation directly by derating the fabric: as effective bandwidth
+//! drops, the comm/compute ratio must rise toward the paper's, and the
+//! CAIS-over-TP-NVLS speedup must widen from our ~1.4x toward (and past)
+//! the paper's operating point.
+
+use crate::runner::{Scale, Table};
+use cais_baselines::BaselineStrategy;
+use cais_core::CaisStrategy;
+use cais_engine::strategy::execute;
+use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+use sim_core::GpuId;
+
+/// Runs the sweep.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let gbps_per_dir: Vec<f64> = match scale {
+        Scale::Paper => vec![450.0, 300.0, 150.0, 75.0],
+        Scale::Smoke => vec![450.0, 150.0],
+    };
+    let model = match scale {
+        Scale::Paper => ModelConfig::llama_7b(),
+        Scale::Smoke => Scale::Smoke.model(&ModelConfig::llama_7b()),
+    };
+    let mut table = Table::new(
+        "sensitivity",
+        "fabric bandwidth vs comm/compute balance and CAIS advantage",
+        vec![
+            "comm/compute".into(),
+            "CAIS_vs_TP-NVLS".into(),
+        ],
+    );
+    for &gbps in &gbps_per_dir {
+        let mut cfg = scale.system();
+        cfg.fabric.link_bw = sim_core::Bandwidth::gbps(gbps).split(cfg.n_planes);
+        // Measure the balance the way Fig. 2 does (barriered TP-NVLS).
+        let tp_dfg = transformer_layer(&model, cfg.tp(), TpMode::BasicTp, Pass::Forward);
+        let tp = execute(&BaselineStrategy::tp_nvls(), &tp_dfg, &cfg);
+        let comm = tp.kernel_time_with_prefix("coll.").as_us_f64();
+        let total: f64 = tp
+            .kernel_spans
+            .values()
+            .filter(|s| s.gpu == GpuId(0))
+            .map(|s| s.duration().as_us_f64())
+            .sum();
+        let ratio = comm / (total - comm).max(1.0);
+        // And the headline speedup at that balance.
+        let cais_dfg = transformer_layer(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward);
+        let cais = execute(&CaisStrategy::full(), &cais_dfg, &cfg);
+        table.push(
+            format!("{gbps:.0} GB/s/dir"),
+            vec![ratio, cais.speedup_over(&tp)],
+        );
+    }
+    table.notes = "derating the fabric reproduces the paper's comm-bound regime (ratio \
+                   rising through the paper's 1.6); CAIS keeps a solid advantage \
+                   throughout, peaking near balance — once communication fully \
+                   dominates, overlap has less compute to hide behind and the advantage \
+                   converges toward the (equal) transported-volume ratio"
+        .into();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_fabric_raises_ratio_and_cais_keeps_winning() {
+        let t = &run(Scale::Smoke)[0];
+        let fast = &t.rows[0].1;
+        let slow = &t.rows[1].1;
+        assert!(
+            slow[0] > fast[0],
+            "comm/compute must rise on a slower fabric: {} vs {}",
+            slow[0],
+            fast[0]
+        );
+        for row in [fast, slow] {
+            assert!(
+                row[1] > 1.0,
+                "CAIS must beat TP-NVLS at every bandwidth: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Logical dataflow graphs of tensor-parallel transformer computation.
+
+use std::fmt;
+
+/// Index of a node within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Collective operation kinds appearing in tensor parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollKind {
+    /// Sum partial tensors across GPUs; every GPU gets the full result.
+    AllReduce,
+    /// Concatenate per-GPU shards; every GPU gets the full tensor.
+    AllGather,
+    /// Sum partials and leave each GPU with its own shard.
+    ReduceScatter,
+}
+
+/// What a node computes.
+///
+/// Compute nodes carry **per-GPU** dimensions (after TP partitioning);
+/// collective nodes carry the **full logical tensor** shape being
+/// communicated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Dense GEMM: per-GPU `m x k @ k x n`.
+    Gemm {
+        /// Rows of the activation operand.
+        m: u64,
+        /// Output columns (per-GPU shard width for column-parallel).
+        n: u64,
+        /// Contraction dimension.
+        k: u64,
+    },
+    /// The softmax(QK^T)V attention core; communication-free under TP by
+    /// head partitioning, so only aggregate cost matters.
+    AttentionCore {
+        /// Per-GPU FLOPs.
+        flops: f64,
+        /// Per-GPU HBM traffic in bytes.
+        bytes: u64,
+    },
+    /// Row-wise LayerNorm over a per-GPU `[rows, cols]` slab.
+    LayerNorm {
+        /// Per-GPU rows (sequence-sharded under SP).
+        rows: u64,
+        /// Columns (hidden dimension).
+        cols: u64,
+    },
+    /// Dropout / residual-add style elementwise work.
+    Elementwise {
+        /// Per-GPU rows.
+        rows: u64,
+        /// Columns.
+        cols: u64,
+        /// FLOPs per element (small).
+        flops_per_elem: f64,
+    },
+    /// An inter-GPU collective over a `[rows, cols]` logical tensor.
+    Collective {
+        /// The collective.
+        kind: CollKind,
+        /// Full-tensor rows.
+        rows: u64,
+        /// Full-tensor cols.
+        cols: u64,
+    },
+}
+
+/// One dataflow node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Stable name used by reports and sub-layer extraction
+    /// ("attn.proj", "ffn.fc1", "mlp.rs", ...).
+    pub name: String,
+    /// The operation.
+    pub kind: NodeKind,
+    /// Nodes whose outputs this node consumes.
+    pub deps: Vec<NodeId>,
+}
+
+/// Errors from [`Dfg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node references a dependency that does not exist.
+    DanglingDep {
+        /// The offending node.
+        node: NodeId,
+        /// The missing dependency.
+        dep: NodeId,
+    },
+    /// A node depends on itself or a later node (graphs must be built in
+    /// topological order).
+    ForwardDep {
+        /// The offending node.
+        node: NodeId,
+        /// The forward dependency.
+        dep: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingDep { node, dep } => {
+                write!(f, "node {node} depends on nonexistent node {dep}")
+            }
+            GraphError::ForwardDep { node, dep } => {
+                write!(f, "node {node} depends on later node {dep} (not topological)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A dataflow graph for one GPU's share of a tensor-parallel program.
+///
+/// Nodes are stored in topological order by construction: a node may only
+/// depend on earlier nodes. [`Dfg::validate`] checks this invariant.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+    /// Bytes per tensor element.
+    pub elem_bytes: u64,
+}
+
+impl Dfg {
+    /// Creates an empty graph with the given element width.
+    pub fn new(elem_bytes: u64) -> Dfg {
+        Dfg {
+            nodes: Vec::new(),
+            elem_bytes,
+        }
+    }
+
+    /// Appends a node; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, kind: NodeKind, deps: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            deps,
+        });
+        id
+    }
+
+    /// The nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids in topological order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Finds the first node with the given name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Nodes that consume `id`'s output.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&c| self.node(c).deps.contains(&id))
+            .collect()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &dep in &node.deps {
+                if dep.0 >= self.nodes.len() {
+                    return Err(GraphError::DanglingDep {
+                        node: NodeId(i),
+                        dep,
+                    });
+                }
+                if dep.0 >= i {
+                    return Err(GraphError::ForwardDep {
+                        node: NodeId(i),
+                        dep,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total per-GPU compute FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Gemm { m, n, k } => 2.0 * (*m as f64) * (*n as f64) * (*k as f64),
+                NodeKind::AttentionCore { flops, .. } => *flops,
+                NodeKind::LayerNorm { rows, cols } => 8.0 * (*rows as f64) * (*cols as f64),
+                NodeKind::Elementwise {
+                    rows,
+                    cols,
+                    flops_per_elem,
+                } => (*rows as f64) * (*cols as f64) * flops_per_elem,
+                NodeKind::Collective { .. } => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total full-tensor bytes moved by collectives (algorithmic volume,
+    /// before any transport multiplier).
+    pub fn total_collective_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Collective { rows, cols, .. } => rows * cols * self.elem_bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of collectives of a given kind.
+    pub fn collective_count(&self, kind: CollKind) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(&n.kind, NodeKind::Collective { kind: k, .. } if *k == kind))
+            .count()
+    }
+
+    /// Appends all of `other`'s nodes, chaining `other`'s roots onto
+    /// `tail` (typically the last node of `self`). Returns the id offset
+    /// applied to `other`'s nodes.
+    pub fn append(&mut self, other: &Dfg, tail: Option<NodeId>) -> usize {
+        let offset = self.nodes.len();
+        for node in &other.nodes {
+            let mut deps: Vec<NodeId> = node.deps.iter().map(|d| NodeId(d.0 + offset)).collect();
+            if deps.is_empty() {
+                if let Some(t) = tail {
+                    deps.push(t);
+                }
+            }
+            self.nodes.push(Node {
+                name: node.name.clone(),
+                kind: node.kind.clone(),
+                deps,
+            });
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm(m: u64, n: u64, k: u64) -> NodeKind {
+        NodeKind::Gemm { m, n, k }
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let mut g = Dfg::new(2);
+        let a = g.add("a", gemm(4, 4, 4), vec![]);
+        let b = g.add(
+            "rs",
+            NodeKind::Collective {
+                kind: CollKind::ReduceScatter,
+                rows: 4,
+                cols: 4,
+            },
+            vec![a],
+        );
+        let _c = g.add("c", gemm(4, 4, 4), vec![b]);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.find("rs"), Some(NodeId(1)));
+        assert_eq!(g.consumers(a), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn validation_catches_dangling() {
+        let mut g = Dfg::new(2);
+        g.add("a", gemm(1, 1, 1), vec![NodeId(5)]);
+        assert!(matches!(g.validate(), Err(GraphError::DanglingDep { .. })));
+    }
+
+    #[test]
+    fn validation_catches_forward_dep() {
+        let mut g = Dfg::new(2);
+        g.add("a", gemm(1, 1, 1), vec![NodeId(0)]);
+        assert!(matches!(g.validate(), Err(GraphError::ForwardDep { .. })));
+    }
+
+    #[test]
+    fn totals() {
+        let mut g = Dfg::new(2);
+        let a = g.add("a", gemm(10, 20, 30), vec![]);
+        g.add(
+            "ar",
+            NodeKind::Collective {
+                kind: CollKind::AllReduce,
+                rows: 10,
+                cols: 20,
+            },
+            vec![a],
+        );
+        assert_eq!(g.total_flops(), 2.0 * 10.0 * 20.0 * 30.0);
+        assert_eq!(g.total_collective_bytes(), 10 * 20 * 2);
+        assert_eq!(g.collective_count(CollKind::AllReduce), 1);
+        assert_eq!(g.collective_count(CollKind::AllGather), 0);
+    }
+
+    #[test]
+    fn append_chains_roots() {
+        let mut g = Dfg::new(2);
+        let a = g.add("a", gemm(1, 1, 1), vec![]);
+        let mut h = Dfg::new(2);
+        h.add("b", gemm(2, 2, 2), vec![]);
+        let off = g.append(&h, Some(a));
+        assert_eq!(off, 1);
+        assert_eq!(g.node(NodeId(1)).deps, vec![a]);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! LLM tensor-parallel workload model.
+//!
+//! Provides the paper's evaluation workloads (Table I) as explicit
+//! dataflow graphs: transformer layers partitioned with **Basic TP**
+//! (Megatron-style, AllReduce at each block boundary) or **TP with
+//! Sequence Parallelism** (ReduceScatter + AllGather with sharded
+//! LayerNorm), for forward and backward passes, plus the four
+//! communication-intensive sub-layers L1–L4 the paper studies in Figs.
+//! 12–16.
+//!
+//! The graphs are *logical*: nodes carry per-GPU compute dimensions and
+//! full-tensor collective sizes. Execution strategies (the `baselines` and
+//! `cais-core` crates) lower them into thread-block grids and fabric
+//! traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use llm_workload::{ModelConfig, TpMode, Pass, transformer_layer};
+//!
+//! let model = ModelConfig::llama_7b();
+//! let dfg = transformer_layer(&model, 8, TpMode::SeqPar, Pass::Forward);
+//! assert!(dfg.validate().is_ok());
+//! // A TP+SP forward layer has 2 AllGathers and 2 ReduceScatters.
+//! assert_eq!(dfg.collective_count(llm_workload::CollKind::AllGather), 2);
+//! assert_eq!(dfg.collective_count(llm_workload::CollKind::ReduceScatter), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod models;
+pub mod sublayer;
+pub mod transformer;
+
+pub use graph::{CollKind, Dfg, GraphError, Node, NodeId, NodeKind};
+pub use models::ModelConfig;
+pub use sublayer::{sublayer, SubLayer};
+pub use transformer::{transformer_layer, transformer_stack, Pass, TpMode};

@@ -1,0 +1,151 @@
+//! The four communication-intensive sub-layers of the paper (Fig. 12).
+//!
+//! Each is a GEMM-RS → LayerNorm → AG-GEMM chain crossing a block
+//! boundary, which is exactly the pattern the CAIS graph-level dataflow
+//! optimizer fuses into one pipeline:
+//!
+//! * **L1** — output projection → LN → first FFN layer (forward)
+//! * **L2** — second FFN layer → LN → input (QKV) projection (forward)
+//! * **L3** — first FFN layer → LN → output projection (backward)
+//! * **L4** — input projection → LN → second FFN layer (backward)
+
+use crate::graph::{CollKind, Dfg, NodeKind};
+use crate::models::ModelConfig;
+
+/// One of the paper's four sub-layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubLayer {
+    /// Output projection → LN → first FFN layer (forward).
+    L1,
+    /// Second FFN layer → LN → input projection (forward).
+    L2,
+    /// First FFN layer → LN → output projection (backward).
+    L3,
+    /// Input projection → LN → second FFN layer (backward).
+    L4,
+}
+
+impl SubLayer {
+    /// All four, in paper order.
+    pub const ALL: [SubLayer; 4] = [SubLayer::L1, SubLayer::L2, SubLayer::L3, SubLayer::L4];
+
+    /// Paper label ("L1".."L4").
+    pub fn label(self) -> &'static str {
+        match self {
+            SubLayer::L1 => "L1",
+            SubLayer::L2 => "L2",
+            SubLayer::L3 => "L3",
+            SubLayer::L4 => "L4",
+        }
+    }
+}
+
+/// Builds the sub-layer's dataflow graph for a `p`-way TP group under
+/// sequence parallelism.
+///
+/// Every sub-layer has the shape
+/// `GEMM (partial [T, H]) → ReduceScatter → LayerNorm (shard) → AllGather → GEMM`,
+/// with GEMM dimensions taken from the surrounding transformer structure.
+///
+/// # Panics
+///
+/// Panics if the model dimensions are not divisible by `p`.
+pub fn sublayer(cfg: &ModelConfig, p: u64, which: SubLayer) -> Dfg {
+    assert!(
+        cfg.hidden % p == 0 && cfg.ffn_hidden % p == 0,
+        "model dims must divide the TP degree {p}"
+    );
+    let t = cfg.tokens();
+    let h = cfg.hidden;
+    let f = cfg.ffn_hidden;
+
+    // (producer m,n,k) -> RS -> LN -> AG -> (consumer m,n,k)
+    let (pname, pg, cname, cg) = match which {
+        // attn.proj: [T,H/p]x[H/p,H]; ffn.fc1: [T,H]x[H,F/p]
+        SubLayer::L1 => ("attn.proj", (t, h, h / p), "ffn.fc1", (t, f / p, h)),
+        // ffn.fc2: [T,F/p]x[F/p,H]; next layer qkv: [T,H]x[H,3H/p]
+        SubLayer::L2 => ("ffn.fc2", (t, h, f / p), "attn.qkv", (t, 3 * h / p, h)),
+        // bwd fc1 dX: [T,F/p]x[F/p,H] partial; bwd proj dX: [T,H]x[H,H/p]
+        SubLayer::L3 => ("bwd.ffn.fc1_dx", (t, h, f / p), "bwd.attn.proj_dx", (t, h / p, h)),
+        // bwd qkv dX: [T,3H/p]x[3H/p,H] partial; bwd fc2 dX: [T,H]x[H,F/p]
+        SubLayer::L4 => ("bwd.attn.qkv_dx", (t, h, 3 * h / p), "bwd.ffn.fc2_dx", (t, f / p, h)),
+    };
+
+    let mut g = Dfg::new(cfg.elem_bytes);
+    let prod = g.add(pname, NodeKind::Gemm { m: pg.0, n: pg.1, k: pg.2 }, vec![]);
+    let rs = g.add(
+        "rs",
+        NodeKind::Collective {
+            kind: CollKind::ReduceScatter,
+            rows: t,
+            cols: h,
+        },
+        vec![prod],
+    );
+    let ln = g.add(
+        "ln",
+        NodeKind::LayerNorm {
+            rows: t / p,
+            cols: h,
+        },
+        vec![rs],
+    );
+    let ag = g.add(
+        "ag",
+        NodeKind::Collective {
+            kind: CollKind::AllGather,
+            rows: t,
+            cols: h,
+        },
+        vec![ln],
+    );
+    let _cons = g.add(cname, NodeKind::Gemm { m: cg.0, n: cg.1, k: cg.2 }, vec![ag]);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CollKind;
+
+    #[test]
+    fn all_sublayers_have_rs_ln_ag_shape() {
+        let cfg = ModelConfig::llama_7b();
+        for which in SubLayer::ALL {
+            let g = sublayer(&cfg, 8, which);
+            g.validate().unwrap();
+            assert_eq!(g.len(), 5, "{}", which.label());
+            assert_eq!(g.collective_count(CollKind::ReduceScatter), 1);
+            assert_eq!(g.collective_count(CollKind::AllGather), 1);
+            assert!(g.find("rs").is_some());
+            assert!(g.find("ag").is_some());
+        }
+    }
+
+    #[test]
+    fn l1_dimensions() {
+        let cfg = ModelConfig::llama_7b();
+        let g = sublayer(&cfg, 8, SubLayer::L1);
+        let prod = g.node(g.find("attn.proj").unwrap());
+        match &prod.kind {
+            NodeKind::Gemm { m, n, k } => {
+                assert_eq!((*m, *n, *k), (9216, 4096, 512));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let cons = g.node(g.find("ffn.fc1").unwrap());
+        match &cons.kind {
+            NodeKind::Gemm { m, n, k } => {
+                assert_eq!((*m, *n, *k), (9216, 1408, 4096));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SubLayer::L3.label(), "L3");
+        assert_eq!(SubLayer::ALL.len(), 4);
+    }
+}

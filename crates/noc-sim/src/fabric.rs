@@ -1,0 +1,564 @@
+//! The fabric: switches, links, routing and the switch-logic hook.
+
+use crate::link::{Direction, Link};
+use crate::packet::{Delivery, FlowClass, Hop, Packet, Payload};
+use crate::report::{FabricReport, LinkUsage};
+use sim_core::{Bandwidth, EventQueue, GpuId, PlaneId, SimDuration, SimTime};
+
+/// Static fabric parameters (Sec. IV-A of the paper).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of GPU endpoints.
+    pub n_gpus: usize,
+    /// Number of independent switch planes (4 on DGX-H100).
+    pub n_planes: usize,
+    /// Bandwidth of one (GPU, plane) link, per direction.
+    pub link_bw: Bandwidth,
+    /// One-way propagation latency GPU<->switch (250 ns in the paper).
+    pub link_latency: SimDuration,
+    /// Per-packet header bytes (one 16 B flit in the paper).
+    pub header_bytes: u64,
+    /// Arbitration granularity: a link re-arbitrates across virtual
+    /// channels every `segment_bytes` of payload.
+    pub segment_bytes: u64,
+    /// Separate virtual channels for load vs. reduction traffic
+    /// (the CAIS traffic-control mechanism; off for all baselines).
+    pub traffic_control: bool,
+    /// When set, every link records a utilization time series with this
+    /// bucket width (used by the Fig. 16 experiment).
+    pub series_bucket: Option<SimDuration>,
+}
+
+impl FabricConfig {
+    /// DGX-H100-like defaults: 450 GB/s per GPU per direction split evenly
+    /// over the planes, 250 ns link latency, 16 B headers.
+    pub fn default_for(n_gpus: usize, n_planes: usize) -> FabricConfig {
+        FabricConfig {
+            n_gpus,
+            n_planes,
+            link_bw: Bandwidth::gbps(450.0).split(n_planes),
+            link_latency: SimDuration::from_ns(250),
+            header_bytes: 16,
+            segment_bytes: 2048,
+            traffic_control: false,
+            series_bucket: None,
+        }
+    }
+
+    /// Aggregate per-GPU bandwidth in one direction (all planes).
+    pub fn per_gpu_bw(&self) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.link_bw.as_bytes_per_sec() * self.n_planes as f64)
+    }
+}
+
+/// Actions a [`SwitchLogic`] can take when handling a packet or timer.
+#[derive(Debug)]
+enum Action<P> {
+    Forward(Packet<P>),
+    Emit { src: GpuId, dst: GpuId, payload: P },
+    Timer { at: SimTime, key: u64 },
+}
+
+/// Mutation interface handed to [`SwitchLogic`] callbacks.
+///
+/// Actions are applied by the fabric after the callback returns, in the
+/// order they were issued.
+#[derive(Debug)]
+pub struct SwitchCtx<P> {
+    plane: PlaneId,
+    actions: Vec<Action<P>>,
+}
+
+impl<P> SwitchCtx<P> {
+    fn new(plane: PlaneId) -> SwitchCtx<P> {
+        SwitchCtx {
+            plane,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The switch plane this callback runs on.
+    pub fn plane(&self) -> PlaneId {
+        self.plane
+    }
+
+    /// Forwards a packet along the standard route to its destination GPU.
+    pub fn forward(&mut self, pkt: Packet<P>) {
+        self.actions.push(Action::Forward(pkt));
+    }
+
+    /// Emits a new packet from the switch toward `dst`.
+    ///
+    /// `src` records which GPU the switch is acting on behalf of (e.g. the
+    /// home GPU of merged load data) for diagnostics.
+    pub fn emit(&mut self, src: GpuId, dst: GpuId, payload: P) {
+        self.actions.push(Action::Emit { src, dst, payload });
+    }
+
+    /// Requests an [`SwitchLogic::on_timer`] callback at `at` with `key`.
+    pub fn set_timer(&mut self, at: SimTime, key: u64) {
+        self.actions.push(Action::Timer { at, key });
+    }
+}
+
+/// In-switch computing hook: observes every packet arriving at a switch.
+///
+/// The same logic instance serves all planes; callbacks receive the plane
+/// through [`SwitchCtx::plane`]. Implementations model per-plane state by
+/// indexing on it.
+pub trait SwitchLogic<P: Payload> {
+    /// Called when `pkt` has fully arrived at the switch on `ctx.plane()`.
+    ///
+    /// The default router behaviour is `ctx.forward(pkt)`.
+    fn on_packet(&mut self, now: SimTime, pkt: Packet<P>, ctx: &mut SwitchCtx<P>);
+
+    /// Called when a timer set via [`SwitchCtx::set_timer`] fires.
+    fn on_timer(&mut self, _now: SimTime, _key: u64, _ctx: &mut SwitchCtx<P>) {}
+
+    /// Named counters this logic exposes after a run (merge hits,
+    /// evictions, peak table occupancy, ...). Keys are free-form.
+    fn stats(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+impl<P: Payload> SwitchLogic<P> for Box<dyn SwitchLogic<P>> {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet<P>, ctx: &mut SwitchCtx<P>) {
+        (**self).on_packet(now, pkt, ctx);
+    }
+    fn on_timer(&mut self, now: SimTime, key: u64, ctx: &mut SwitchCtx<P>) {
+        (**self).on_timer(now, key, ctx);
+    }
+    fn stats(&self) -> Vec<(String, f64)> {
+        (**self).stats()
+    }
+}
+
+/// The trivial switch logic: forward every packet to its destination GPU.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PureRouter;
+
+impl<P: Payload> SwitchLogic<P> for PureRouter {
+    fn on_packet(&mut self, _now: SimTime, pkt: Packet<P>, ctx: &mut SwitchCtx<P>) {
+        ctx.forward(pkt);
+    }
+}
+
+#[derive(Debug)]
+enum NetEvent<P> {
+    LinkFree(usize),
+    ArriveSwitch(Packet<P>),
+    ArriveGpu(Packet<P>),
+    Timer { plane: PlaneId, key: u64 },
+}
+
+/// The interconnect simulator.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Fabric<P, L> {
+    cfg: FabricConfig,
+    links: Vec<Link<P>>,
+    queue: EventQueue<NetEvent<P>>,
+    logic: L,
+    deliveries: Vec<Delivery<P>>,
+    pkt_seq: u64,
+    now: SimTime,
+}
+
+impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
+    /// Creates a fabric with the given switch logic installed on every
+    /// plane.
+    pub fn new(cfg: FabricConfig, logic: L) -> Fabric<P, L> {
+        assert!(cfg.n_gpus >= 2, "fabric needs at least two GPUs");
+        assert!(cfg.n_planes >= 1, "fabric needs at least one plane");
+        let vc_count = FlowClass::vc_count(cfg.traffic_control);
+        let n_links = cfg.n_planes * cfg.n_gpus * 2;
+        let links = (0..n_links)
+            .map(|_| {
+                Link::new(
+                    cfg.link_bw,
+                    cfg.link_latency,
+                    cfg.header_bytes,
+                    cfg.segment_bytes,
+                    vc_count,
+                    cfg.series_bucket,
+                )
+            })
+            .collect();
+        Fabric {
+            cfg,
+            links,
+            queue: EventQueue::new(),
+            logic,
+            deliveries: Vec::new(),
+            pkt_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Access to the installed switch logic (e.g. to read merge-unit
+    /// statistics after a run).
+    pub fn logic(&self) -> &L {
+        &self.logic
+    }
+
+    /// Mutable access to the installed switch logic.
+    pub fn logic_mut(&mut self) -> &mut L {
+        &mut self.logic
+    }
+
+    fn link_idx(&self, plane: PlaneId, gpu: GpuId, dir: Direction) -> usize {
+        debug_assert!(plane.index() < self.cfg.n_planes, "plane out of range");
+        debug_assert!(gpu.index() < self.cfg.n_gpus, "gpu out of range");
+        (plane.index() * self.cfg.n_gpus + gpu.index()) * 2 + dir.index()
+    }
+
+    /// Injects a payload from `src` toward `dst` via `plane` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the fabric's current time, or if ids are
+    /// out of range.
+    pub fn inject(&mut self, time: SimTime, src: GpuId, dst: GpuId, plane: PlaneId, payload: P) {
+        assert!(time >= self.now, "cannot inject into the past");
+        let pkt = Packet {
+            id: self.next_pkt_id(),
+            src,
+            dst,
+            plane,
+            hop: Hop::ToSwitch,
+            payload,
+        };
+        self.enqueue_on_link(time, pkt);
+    }
+
+    fn next_pkt_id(&mut self) -> u64 {
+        let id = self.pkt_seq;
+        self.pkt_seq += 1;
+        id
+    }
+
+    fn enqueue_on_link(&mut self, time: SimTime, pkt: Packet<P>) {
+        let (gpu, dir) = match pkt.hop {
+            Hop::ToSwitch => (pkt.src, Direction::Up),
+            Hop::ToGpu => (pkt.dst, Direction::Down),
+        };
+        let li = self.link_idx(pkt.plane, gpu, dir);
+        let vc = pkt.payload.class().vc(self.cfg.traffic_control);
+        let bytes = pkt.payload.data_bytes();
+        self.links[li].enqueue(vc, pkt, bytes);
+        if !self.links[li].is_serving() {
+            // Wake the link: serve at `time` (>= now, so causality holds).
+            self.links[li].set_serving(true);
+            self.queue.push(time, NetEvent::LinkFree(li));
+        }
+    }
+
+    fn serve_link(&mut self, li: usize, now: SimTime) {
+        match self.links[li].serve(now) {
+            None => self.links[li].set_serving(false),
+            Some(out) => {
+                self.links[li].set_serving(true);
+                self.queue.push(out.free_at, NetEvent::LinkFree(li));
+                if let Some((pkt, arrive_at)) = out.departed {
+                    let ev = match pkt.hop {
+                        Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
+                        Hop::ToGpu => NetEvent::ArriveGpu(pkt),
+                    };
+                    self.queue.push(arrive_at, ev);
+                }
+            }
+        }
+    }
+
+    fn run_logic<F>(&mut self, now: SimTime, plane: PlaneId, f: F)
+    where
+        F: FnOnce(&mut L, &mut SwitchCtx<P>),
+    {
+        let mut ctx = SwitchCtx::new(plane);
+        f(&mut self.logic, &mut ctx);
+        for action in ctx.actions {
+            match action {
+                Action::Forward(mut pkt) => {
+                    pkt.hop = Hop::ToGpu;
+                    self.enqueue_on_link(now, pkt);
+                }
+                Action::Emit { src, dst, payload } => {
+                    let pkt = Packet {
+                        id: self.next_pkt_id(),
+                        src,
+                        dst,
+                        plane,
+                        hop: Hop::ToGpu,
+                        payload,
+                    };
+                    self.enqueue_on_link(now, pkt);
+                }
+                Action::Timer { at, key } => {
+                    assert!(at >= now, "switch logic set a timer in the past");
+                    self.queue.push(at, NetEvent::Timer { plane, key });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, time: SimTime, ev: NetEvent<P>) {
+        self.now = time;
+        match ev {
+            NetEvent::LinkFree(li) => self.serve_link(li, time),
+            NetEvent::ArriveSwitch(pkt) => {
+                let plane = pkt.plane;
+                self.run_logic(time, plane, |logic, ctx| logic.on_packet(time, pkt, ctx));
+            }
+            NetEvent::ArriveGpu(pkt) => self.deliveries.push(Delivery {
+                time,
+                src: pkt.src,
+                dst: pkt.dst,
+                plane: pkt.plane,
+                payload: pkt.payload,
+            }),
+            NetEvent::Timer { plane, key } => {
+                self.run_logic(time, plane, |logic, ctx| logic.on_timer(time, key, ctx));
+            }
+        }
+    }
+
+    /// Timestamp of the next internal event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes every event scheduled at or before `until`.
+    pub fn advance(&mut self, until: SimTime) {
+        while let Some((t, ev)) = self.queue.pop_due(until) {
+            self.dispatch(t, ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs until no events remain. Returns the final simulation time.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch(t, ev);
+        }
+        self.now
+    }
+
+    /// Current fabric time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Takes all payloads delivered to GPUs since the last drain.
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery<P>> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Builds a usage report over the horizon `[0, horizon)`.
+    pub fn report(&self, horizon: SimDuration) -> FabricReport {
+        let mut usages = Vec::with_capacity(self.links.len());
+        for plane in 0..self.cfg.n_planes {
+            for gpu in 0..self.cfg.n_gpus {
+                for dir in [Direction::Up, Direction::Down] {
+                    let li = self.link_idx(PlaneId(plane as u16), GpuId(gpu as u16), dir);
+                    let link = &self.links[li];
+                    usages.push(LinkUsage {
+                        plane: PlaneId(plane as u16),
+                        gpu: GpuId(gpu as u16),
+                        dir,
+                        busy: link.busy_time(),
+                        bytes: link.bytes_carried(),
+                        packets: link.packets_carried(),
+                        utilization: link.busy_time().ratio(horizon),
+                        series: link.series().map(|s| s.samples()),
+                    });
+                }
+            }
+        }
+        FabricReport::new(horizon, usages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Blob {
+        bytes: u64,
+        class: FlowClass,
+    }
+
+    impl Payload for Blob {
+        fn data_bytes(&self) -> u64 {
+            self.bytes
+        }
+        fn class(&self) -> FlowClass {
+            self.class
+        }
+    }
+
+    fn blob(bytes: u64) -> Blob {
+        Blob {
+            bytes,
+            class: FlowClass::Bulk,
+        }
+    }
+
+    fn cfg2() -> FabricConfig {
+        FabricConfig {
+            link_bw: Bandwidth::gbps(1.0), // 1 B/ns for easy arithmetic
+            ..FabricConfig::default_for(2, 1)
+        }
+    }
+
+    #[test]
+    fn end_to_end_latency_two_hops() {
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(84));
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 1);
+        // Up: (84+16) ns serialize + 250 ns; down: same again => 700 ns.
+        assert_eq!(d[0].time, SimTime::from_ns(700));
+        assert_eq!(d[0].src, GpuId(0));
+        assert_eq!(d[0].dst, GpuId(1));
+    }
+
+    #[test]
+    fn byte_conservation_across_links() {
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        for i in 0..10 {
+            f.inject(
+                SimTime::from_ns(i * 5),
+                GpuId(0),
+                GpuId(1),
+                PlaneId(0),
+                blob(1000),
+            );
+        }
+        f.run_to_completion();
+        assert_eq!(f.drain_deliveries().len(), 10);
+        let report = f.report(SimDuration::from_us(100));
+        // Up link of gpu0 and down link of gpu1 each carried all packets.
+        let up = report
+            .usages()
+            .iter()
+            .find(|u| u.gpu == GpuId(0) && u.dir == Direction::Up)
+            .unwrap();
+        let down = report
+            .usages()
+            .iter()
+            .find(|u| u.gpu == GpuId(1) && u.dir == Direction::Down)
+            .unwrap();
+        assert_eq!(up.bytes, 10 * 1016);
+        assert_eq!(up.bytes, down.bytes);
+        assert_eq!(up.packets, 10);
+    }
+
+    #[test]
+    fn saturated_link_matches_bandwidth() {
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        // 1 MB injected at t=0: serialization at 1 B/ns dominates.
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(1 << 20));
+        let end = f.run_to_completion();
+        let payload = (1 << 20) as f64;
+        // Header overhead: one per packet (single packet here).
+        let expect_ns = (payload + 16.0) * 2.0 + 500.0;
+        let got_ns = end.as_ns() as f64;
+        assert!(
+            (got_ns - expect_ns).abs() < 2.0,
+            "expected ~{expect_ns} ns got {got_ns} ns"
+        );
+    }
+
+    #[test]
+    fn planes_are_independent_resources() {
+        let cfg = FabricConfig {
+            link_bw: Bandwidth::gbps(1.0),
+            ..FabricConfig::default_for(2, 2)
+        };
+        let mut f = Fabric::new(cfg, PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(10_000));
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(1), blob(10_000));
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 2);
+        // Both arrive at the same time: no shared serialization resource.
+        assert_eq!(d[0].time, d[1].time);
+    }
+
+    #[test]
+    fn custom_logic_can_multicast() {
+        #[derive(Debug, Default)]
+        struct McastAll {
+            n_gpus: usize,
+        }
+        impl SwitchLogic<Blob> for McastAll {
+            fn on_packet(&mut self, _now: SimTime, pkt: Packet<Blob>, ctx: &mut SwitchCtx<Blob>) {
+                for g in 0..self.n_gpus {
+                    if g != pkt.src.index() {
+                        ctx.emit(pkt.src, GpuId(g as u16), pkt.payload.clone());
+                    }
+                }
+            }
+        }
+        let cfg = FabricConfig::default_for(4, 1);
+        let mut f = Fabric::new(cfg, McastAll { n_gpus: 4 });
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(0), PlaneId(0), blob(256));
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 3);
+        let mut dsts: Vec<u16> = d.iter().map(|x| x.dst.0).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn timer_fires() {
+        #[derive(Debug, Default)]
+        struct TimerLogic {
+            fired_at: Option<SimTime>,
+        }
+        impl SwitchLogic<Blob> for TimerLogic {
+            fn on_packet(&mut self, now: SimTime, pkt: Packet<Blob>, ctx: &mut SwitchCtx<Blob>) {
+                ctx.set_timer(now + SimDuration::from_us(5), 42);
+                ctx.forward(pkt);
+            }
+            fn on_timer(&mut self, now: SimTime, key: u64, _ctx: &mut SwitchCtx<Blob>) {
+                assert_eq!(key, 42);
+                self.fired_at = Some(now);
+            }
+        }
+        let mut f = Fabric::new(cfg2(), TimerLogic::default());
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(64));
+        f.run_to_completion();
+        assert!(f.logic().fired_at.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject into the past")]
+    fn inject_in_past_panics() {
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        f.inject(SimTime::from_ns(100), GpuId(0), GpuId(1), PlaneId(0), blob(1));
+        f.run_to_completion();
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(1));
+    }
+
+    #[test]
+    fn advance_stops_at_horizon() {
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(84));
+        f.advance(SimTime::from_ns(300));
+        assert!(f.drain_deliveries().is_empty());
+        assert!(f.next_time().is_some());
+        f.advance(SimTime::from_ns(700));
+        assert_eq!(f.drain_deliveries().len(), 1);
+    }
+}

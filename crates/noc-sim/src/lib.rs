@@ -1,0 +1,50 @@
+//! NVSwitch/NVLink interconnect simulator.
+//!
+//! Models the DGX-H100 scale-up fabric the paper evaluates on: `n_gpus`
+//! endpoints, `n_planes` independent NVSwitch planes, and one
+//! bidirectional link per (GPU, plane) pair. Each link direction is a
+//! serial resource with finite bandwidth, a fixed propagation latency
+//! (250 ns in the paper's setup), per-class **virtual channels** and
+//! segment-granularity **round-robin arbitration** — the ingredients the
+//! paper's traffic-control results (Figs. 15–16) depend on.
+//!
+//! Switches are *programmable*: a [`SwitchLogic`] implementation observes
+//! every packet that reaches a switch and decides what the switch emits.
+//! The plain router ([`PureRouter`]) just forwards packets to their
+//! destination GPU; the `nvls` crate implements NVLink-SHARP multicast and
+//! reduction on top of this hook, and `cais-core` implements the CAIS merge
+//! unit and Group Sync Table.
+//!
+//! # Example: two GPUs exchanging a message through a switch
+//!
+//! ```
+//! use noc_sim::{Fabric, FabricConfig, FlowClass, Payload, PureRouter};
+//! use sim_core::{GpuId, PlaneId, SimTime};
+//!
+//! #[derive(Debug, Clone)]
+//! struct Blob(u64);
+//! impl Payload for Blob {
+//!     fn data_bytes(&self) -> u64 { self.0 }
+//!     fn class(&self) -> FlowClass { FlowClass::Bulk }
+//! }
+//!
+//! let cfg = FabricConfig::default_for(2, 1);
+//! let mut fabric = Fabric::new(cfg, PureRouter);
+//! fabric.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), Blob(4096));
+//! fabric.run_to_completion();
+//! let deliveries = fabric.drain_deliveries();
+//! assert_eq!(deliveries.len(), 1);
+//! assert_eq!(deliveries[0].dst, GpuId(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod link;
+pub mod packet;
+pub mod report;
+
+pub use fabric::{Fabric, FabricConfig, PureRouter, SwitchCtx, SwitchLogic};
+pub use link::Direction;
+pub use packet::{Delivery, FlowClass, Packet, Payload};
+pub use report::{FabricReport, LinkUsage};

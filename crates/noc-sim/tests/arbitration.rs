@@ -1,0 +1,133 @@
+//! Fabric arbitration and accounting properties.
+
+use noc_sim::{Direction, Fabric, FabricConfig, FlowClass, Payload, PureRouter};
+use proptest::prelude::*;
+use sim_core::{Bandwidth, GpuId, PlaneId, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct Flow {
+    bytes: u64,
+    class: FlowClass,
+}
+
+impl Payload for Flow {
+    fn data_bytes(&self) -> u64 {
+        self.bytes
+    }
+    fn class(&self) -> FlowClass {
+        self.class
+    }
+}
+
+fn cfg(tc: bool) -> FabricConfig {
+    FabricConfig {
+        link_bw: Bandwidth::gbps(1.0),
+        traffic_control: tc,
+        segment_bytes: 256,
+        ..FabricConfig::default_for(2, 1)
+    }
+}
+
+#[test]
+fn traffic_control_interleaves_loads_and_reductions() {
+    // Saturate one up-link with a huge reduction burst, then inject load
+    // responses. With traffic control (separate VCs) the load traffic
+    // finishes long before the reduction burst drains; without it, the
+    // loads are stuck behind the burst (head-of-line blocking).
+    let run = |tc: bool| {
+        let mut f = Fabric::new(cfg(tc), PureRouter);
+        f.inject(
+            SimTime::ZERO,
+            GpuId(0),
+            GpuId(1),
+            PlaneId(0),
+            Flow {
+                bytes: 1 << 20,
+                class: FlowClass::Reduce,
+            },
+        );
+        for i in 0..8 {
+            f.inject(
+                SimTime::from_ns(10 + i),
+                GpuId(0),
+                GpuId(1),
+                PlaneId(0),
+                Flow {
+                    bytes: 4096,
+                    class: FlowClass::LoadResp,
+                },
+            );
+        }
+        f.run_to_completion();
+        f.drain_deliveries()
+            .into_iter()
+            .filter(|d| matches!(d.payload.class, FlowClass::LoadResp))
+            .map(|d| d.time)
+            .max()
+            .expect("loads delivered")
+    };
+    let with_tc = run(true);
+    let without_tc = run(false);
+    assert!(
+        with_tc.as_ns() * 5 < without_tc.as_ns(),
+        "traffic control must break head-of-line blocking: {with_tc} vs {without_tc}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wire accounting: delivered payload bytes match injections and the
+    /// per-packet header overhead is exactly `header_bytes` per packet
+    /// per hop.
+    #[test]
+    fn header_overhead_is_exact(
+        sizes in proptest::collection::vec(1u64..50_000, 1..40),
+    ) {
+        let mut f = Fabric::new(cfg(false), PureRouter);
+        for (i, s) in sizes.iter().enumerate() {
+            f.inject(
+                SimTime::from_ns(i as u64),
+                GpuId(0),
+                GpuId(1),
+                PlaneId(0),
+                Flow { bytes: *s, class: FlowClass::Bulk },
+            );
+        }
+        f.run_to_completion();
+        let payload: u64 = sizes.iter().sum();
+        let report = f.report(SimDuration::from_ms(100));
+        let up = report.bytes_dir(Direction::Up);
+        prop_assert_eq!(up, payload + 16 * sizes.len() as u64);
+        prop_assert_eq!(report.bytes_dir(Direction::Down), up);
+    }
+
+    /// Work conservation: a saturated link's busy time equals its wire
+    /// bytes divided by its bandwidth (no lost cycles, no double
+    /// counting), regardless of how traffic is classed.
+    #[test]
+    fn busy_time_matches_wire_bytes(
+        sizes in proptest::collection::vec(64u64..20_000, 2..30),
+        tc in prop::bool::ANY,
+    ) {
+        let mut f = Fabric::new(cfg(tc), PureRouter);
+        for (i, s) in sizes.iter().enumerate() {
+            let class = match i % 3 {
+                0 => FlowClass::Reduce,
+                1 => FlowClass::LoadResp,
+                _ => FlowClass::Bulk,
+            };
+            f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), Flow { bytes: *s, class });
+        }
+        f.run_to_completion();
+        let report = f.report(SimDuration::from_ms(100));
+        let up = report
+            .usages()
+            .iter()
+            .find(|u| u.gpu == GpuId(0) && u.dir == Direction::Up)
+            .unwrap()
+            .clone();
+        // 1 GB/s = 1 byte/ns.
+        prop_assert_eq!(up.busy.as_ns(), up.bytes);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic pseudo-randomness for scheduling jitter.
+//!
+//! The simulator needs small amounts of randomness (per-GPU thread-block
+//! dispatch jitter that models OS/clock drift across devices, Sec. II-D of
+//! the paper). A tiny embedded SplitMix64/xoshiro256** keeps `sim-core`
+//! dependency-free and guarantees identical streams on every platform.
+
+use crate::time::SimDuration;
+
+/// A small, fast, deterministic RNG (xoshiro256** seeded via SplitMix64).
+///
+/// ```
+/// use sim_core::rng::JitterRng;
+/// let mut a = JitterRng::seed_from(42);
+/// let mut b = JitterRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct JitterRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl JitterRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> JitterRng {
+        let mut sm = seed;
+        JitterRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent stream for a sub-component (e.g. one GPU).
+    pub fn fork(&mut self, stream: u64) -> JitterRng {
+        JitterRng::seed_from(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // the jitter magnitudes used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform duration in `[0, max)`.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_ps(self.next_below(max.as_ps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = JitterRng::seed_from(7);
+        let mut b = JitterRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = JitterRng::seed_from(1);
+        let mut b = JitterRng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut root1 = JitterRng::seed_from(9);
+        let mut root2 = JitterRng::seed_from(9);
+        let mut f1 = root1.fork(0);
+        let mut f2 = root2.fork(0);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut g1 = root1.fork(1);
+        assert_ne!(f1.next_u64(), g1.next_u64());
+    }
+
+    #[test]
+    fn bounded_sampling_stays_in_range() {
+        let mut r = JitterRng::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = JitterRng::seed_from(4);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut r = JitterRng::seed_from(5);
+        let max = SimDuration::from_us(35);
+        for _ in 0..1000 {
+            assert!(r.jitter(max) < max);
+        }
+    }
+}

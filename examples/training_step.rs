@@ -1,0 +1,74 @@
+//! A full tensor-parallel training step of one transformer layer,
+//! compared across the paper's system roster (Fig. 11 setting).
+//!
+//! ```text
+//! cargo run --release --example training_step [--paper]
+//! ```
+//!
+//! By default runs a reduced Mega-GPT-4B layer for speed; `--paper` runs
+//! the Table-I configuration.
+
+use cais::baselines::{BaselineStrategy, LadmStrategy};
+use cais::core::CaisStrategy;
+use cais::engine::{strategy::execute, Strategy, SystemConfig};
+use cais::llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let cfg = SystemConfig::dgx_h100();
+    let model = if paper {
+        ModelConfig::mega_gpt_4b()
+    } else {
+        ModelConfig {
+            hidden: 1024,
+            ffn_hidden: 2048,
+            heads: 8,
+            seq_len: 512,
+            batch: 4,
+            ..ModelConfig::mega_gpt_4b()
+        }
+    };
+    println!(
+        "one training step (fwd+bwd) of a {} layer on {} GPUs\n",
+        model.name, cfg.n_gpus
+    );
+
+    // (strategy, graph flavour it is designed for)
+    let roster: Vec<(Box<dyn Strategy>, TpMode)> = vec![
+        (Box::new(BaselineStrategy::tp_nvls()), TpMode::BasicTp),
+        (Box::new(BaselineStrategy::sp_nvls()), TpMode::SeqPar),
+        (Box::new(BaselineStrategy::coconet_nvls()), TpMode::BasicTp),
+        (Box::new(BaselineStrategy::t3()), TpMode::SeqPar),
+        (Box::new(LadmStrategy::new()), TpMode::SeqPar),
+        (Box::new(CaisStrategy::base()), TpMode::SeqPar),
+        (Box::new(CaisStrategy::full()), TpMode::SeqPar),
+    ];
+
+    let mut cais_time = None;
+    let mut results = Vec::new();
+    for (strategy, mode) in &roster {
+        let dfg = transformer_layer(&model, cfg.tp(), *mode, Pass::Training);
+        let report = execute(strategy.as_ref(), &dfg, &cfg);
+        if strategy.name() == "CAIS" {
+            cais_time = Some(report.total);
+        }
+        results.push((strategy.name().to_string(), report));
+    }
+    let cais_time = cais_time.expect("CAIS in roster");
+
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>14}",
+        "system", "step time", "SM occ", "link util", "CAIS speedup"
+    );
+    for (name, report) in &results {
+        println!(
+            "{:<14} {:>12} {:>9.1}% {:>9.1}% {:>13.2}x",
+            name,
+            report.total.to_string(),
+            report.mean_occupancy() * 100.0,
+            report.fabric.mean_utilization() * 100.0,
+            report.total.as_secs_f64() / cais_time.as_secs_f64(),
+        );
+    }
+    println!("\n(speedup column: how much faster CAIS finishes the same step)");
+}

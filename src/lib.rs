@@ -1,0 +1,25 @@
+//! Facade crate for the CAIS reproduction.
+//!
+//! Re-exports every layer of the system so examples and integration tests
+//! can use a single dependency. See the individual crates for detail:
+//!
+//! * [`sim_core`] — discrete-event engine, time, ids, stats
+//! * [`noc_sim`] — NVSwitch/NVLink interconnect model
+//! * [`gpu_sim`] — thread-block-granularity GPU model
+//! * [`nvls`] — NVLink SHARP style in-switch collectives + ring baselines
+//! * [`llm_workload`] — transformer workload model and dataflow graphs
+//! * [`cais_core`] — the paper's contribution: merge unit, TB coordination,
+//!   graph-level dataflow optimizer
+//! * [`cais_engine`] — system co-simulation engine
+//! * [`cais_baselines`] — the nine comparison systems
+//! * [`cais_harness`] — per-figure/table experiment harness
+
+pub use cais_baselines as baselines;
+pub use cais_core as core;
+pub use cais_engine as engine;
+pub use cais_harness as harness;
+pub use gpu_sim;
+pub use llm_workload;
+pub use noc_sim;
+pub use nvls;
+pub use sim_core;

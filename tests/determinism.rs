@@ -1,0 +1,78 @@
+//! Determinism: identical configurations must produce bit-identical
+//! simulation results, regardless of host hash randomization.
+
+use cais::baselines::BaselineStrategy;
+use cais::core::CaisStrategy;
+use cais::engine::{strategy::execute, Strategy, SystemConfig};
+use cais::llm_workload::{sublayer, ModelConfig, SubLayer};
+
+fn small_model() -> ModelConfig {
+    ModelConfig {
+        hidden: 1024,
+        ffn_hidden: 2048,
+        heads: 8,
+        seq_len: 512,
+        batch: 1,
+        ..ModelConfig::llama_7b()
+    }
+}
+
+fn cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::dgx_h100();
+    cfg.n_gpus = 4;
+    cfg.n_planes = 2;
+    cfg.fabric = cais::noc_sim::FabricConfig::default_for(4, 2);
+    cfg
+}
+
+fn run_twice(strategy: impl Fn() -> Box<dyn Strategy>) {
+    let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+    let a = execute(strategy().as_ref(), &dfg, &cfg());
+    let b = execute(strategy().as_ref(), &dfg, &cfg());
+    assert_eq!(
+        a.total, b.total,
+        "{}: totals must be bit-identical across runs",
+        strategy().name()
+    );
+    assert_eq!(a.gpu_occupancy, b.gpu_occupancy);
+    assert_eq!(a.logic_stats, b.logic_stats);
+    assert_eq!(a.deduped_fetches, b.deduped_fetches);
+}
+
+#[test]
+fn cais_is_deterministic() {
+    run_twice(|| Box::new(CaisStrategy::full()));
+}
+
+#[test]
+fn cais_base_is_deterministic() {
+    run_twice(|| Box::new(CaisStrategy::base()));
+}
+
+#[test]
+fn nvls_baseline_is_deterministic() {
+    run_twice(|| Box::new(BaselineStrategy::sp_nvls()));
+}
+
+#[test]
+fn ring_baseline_is_deterministic() {
+    run_twice(|| Box::new(BaselineStrategy::coconet()));
+}
+
+#[test]
+fn t3_is_deterministic() {
+    run_twice(|| Box::new(BaselineStrategy::t3_nvls()));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+    let a = execute(&CaisStrategy::full(), &dfg, &cfg());
+    let mut cfg2 = cfg();
+    cfg2.seed ^= 0xDEAD_BEEF;
+    let b = execute(&CaisStrategy::full(), &dfg, &cfg2);
+    assert_ne!(
+        a.total, b.total,
+        "jitter must actually depend on the seed"
+    );
+}

@@ -1,0 +1,89 @@
+//! Workload-model invariants that the rest of the system relies on.
+
+use cais::llm_workload::{
+    sublayer, transformer_layer, CollKind, ModelConfig, NodeKind, Pass, SubLayer, TpMode,
+};
+
+#[test]
+fn collective_volume_is_tp_invariant() {
+    // The logical bytes a layer communicates do not depend on the TP
+    // degree (each AllReduce moves the same [T, H] tensor) — this is why
+    // communication dominates as compute shrinks with p (paper Fig. 2).
+    let m = ModelConfig::llama_7b();
+    let v4 = transformer_layer(&m, 4, TpMode::BasicTp, Pass::Forward).total_collective_bytes();
+    let v8 = transformer_layer(&m, 8, TpMode::BasicTp, Pass::Forward).total_collective_bytes();
+    assert_eq!(v4, v8);
+}
+
+#[test]
+fn per_gpu_flops_scale_inversely_with_tp() {
+    let m = ModelConfig::llama_7b();
+    let f4 = transformer_layer(&m, 4, TpMode::SeqPar, Pass::Forward).total_flops();
+    let f8 = transformer_layer(&m, 8, TpMode::SeqPar, Pass::Forward).total_flops();
+    let ratio = f4 / f8;
+    assert!((1.8..2.2).contains(&ratio), "flops ratio {ratio}");
+}
+
+#[test]
+fn sp_and_basic_move_equivalent_bytes_per_block() {
+    // AllReduce == ReduceScatter + AllGather algorithmically: per block,
+    // Basic TP's one AR over [T, H] equals SP's RS+AG pair over [T, H].
+    let m = ModelConfig::llama_7b();
+    let basic = transformer_layer(&m, 8, TpMode::BasicTp, Pass::Forward);
+    let sp = transformer_layer(&m, 8, TpMode::SeqPar, Pass::Forward);
+    // Basic: 2 AR x [T,H]; SP: 2 AG + 2 RS x [T,H] => 2x logical tensor
+    // volume, but the lowered wire bytes match (RS and AG each move the
+    // "missing" (p-1)/p fraction, AR moves both halves).
+    assert_eq!(
+        2 * basic.total_collective_bytes(),
+        sp.total_collective_bytes()
+    );
+}
+
+#[test]
+fn every_table1_model_divides_by_eight() {
+    for m in ModelConfig::table1() {
+        assert_eq!(m.hidden % 8, 0, "{}", m.name);
+        assert_eq!(m.ffn_hidden % 8, 0, "{}", m.name);
+        assert_eq!(m.heads % 8, 0, "{}", m.name);
+        assert_eq!(m.tokens() % 8, 0, "{}", m.name);
+    }
+}
+
+#[test]
+fn sublayers_match_transformer_dimensions() {
+    // The L1 sub-layer's GEMMs must be exactly the attn.proj and ffn.fc1
+    // of the full layer graph.
+    let m = ModelConfig::llama_7b();
+    let layer = transformer_layer(&m, 8, TpMode::SeqPar, Pass::Forward);
+    let l1 = sublayer(&m, 8, SubLayer::L1);
+    let find_gemm = |g: &cais::llm_workload::Dfg, name: &str| -> (u64, u64, u64) {
+        match g.node(g.find(name).unwrap()).kind {
+            NodeKind::Gemm { m, n, k } => (m, n, k),
+            ref other => panic!("{name} is {other:?}"),
+        }
+    };
+    assert_eq!(
+        find_gemm(&layer, "attn.proj"),
+        find_gemm(&l1, "attn.proj")
+    );
+    assert_eq!(find_gemm(&layer, "ffn.fc1"), find_gemm(&l1, "ffn.fc1"));
+}
+
+#[test]
+fn backward_mirrors_forward_collectives_under_sp() {
+    let m = ModelConfig::llama_7b();
+    let bwd = transformer_layer(&m, 8, TpMode::SeqPar, Pass::Backward);
+    assert_eq!(bwd.collective_count(CollKind::AllGather), 2);
+    assert_eq!(bwd.collective_count(CollKind::ReduceScatter), 2);
+}
+
+#[test]
+fn scaling_hidden_preserves_divisibility() {
+    let m = ModelConfig::llama_7b();
+    for p in [8u64, 16, 32] {
+        let scaled = m.scale_hidden(p, 8);
+        let g = transformer_layer(&scaled, p, TpMode::SeqPar, Pass::Forward);
+        assert!(g.validate().is_ok(), "p={p}");
+    }
+}
