@@ -155,7 +155,7 @@ impl LadmStrategy {
                     let addr = ctx.ids.addr(owner, len);
                     let tile = ctx.ids.tile();
                     ctx.prog.tile_expected.insert(tile, p as u32);
-                    for g in 0..ctx.cfg.n_gpus {
+                    for (g, gpu_tbs) in per_gpu_tbs.iter_mut().enumerate() {
                         let op = if g == owner.index() {
                             MemOp {
                                 kind: MemOpKind::RemoteReduce,
@@ -173,7 +173,7 @@ impl LadmStrategy {
                                 tile: Some(tile),
                             }
                         };
-                        per_gpu_tbs[g].push(TbDesc {
+                        gpu_tbs.push(TbDesc {
                             id: ctx.ids.tb(),
                             order_key: order.get(),
                             group: None,
@@ -209,12 +209,12 @@ impl LadmStrategy {
                 let total = (shard_bytes as f64 * redundancy) as u64;
                 for (_off, len) in cais_engine::lower::chunk_ranges(total, chunk) {
                     let addr = ctx.ids.addr(owner, len);
-                    for g in 0..ctx.cfg.n_gpus {
+                    for (g, gpu_tbs) in per_gpu_tbs.iter_mut().enumerate() {
                         if g == owner.index() {
                             continue;
                         }
                         let tile: Option<TileId> = None; // no reuse capture
-                        per_gpu_tbs[g].push(TbDesc {
+                        gpu_tbs.push(TbDesc {
                             id: ctx.ids.tb(),
                             order_key: order.get(),
                             group: None,

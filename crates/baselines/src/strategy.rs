@@ -2,8 +2,8 @@
 //! CoCoNet, FuseLib, T3 and their NVLS-enhanced variants.
 
 use crate::producers::{
-    chunk_input_tiles, lower_gated_gemm, lower_tiled_gemm, t3_epilogue, waiter_kernels,
-    TiledGemm, TiledGemmOpts,
+    chunk_input_tiles, lower_gated_gemm, lower_tiled_gemm, t3_epilogue, waiter_kernels, TiledGemm,
+    TiledGemmOpts,
 };
 use cais_engine::{
     lower::GemmLowering, IdAlloc, Msg, PlannedKernel, Program, Strategy, SystemConfig,
@@ -205,14 +205,14 @@ impl BaselineStrategy {
             NodeKind::Gemm { m, n, k } => {
                 // Does a collective consume this GEMM directly? Then emit
                 // tile signals (chunk/tile overlap) or T3 epilogues.
-                let feeds_collective = dfg.consumers(id).into_iter().any(|c| {
-                    matches!(dfg.node(c).kind, NodeKind::Collective { .. })
-                });
+                let feeds_collective = dfg
+                    .consumers(id)
+                    .into_iter()
+                    .any(|c| matches!(dfg.node(c).kind, NodeKind::Collective { .. }));
                 // Is this GEMM consuming a just-gathered tensor (T3
                 // AG-GEMM overlap)?
                 let gates = ctx.prev_coll_gates.take();
-                if self.overlap == Overlap::Tile && gates.is_some() {
-                    let (gates, _rows) = gates.expect("checked");
+                if let Some((gates, _rows)) = gates.filter(|_| self.overlap == Overlap::Tile) {
                     // Band gating carries the true data dependencies; an
                     // empty `after` lets early bands start while the tail
                     // of the gather is still in flight.
@@ -315,11 +315,8 @@ impl BaselineStrategy {
         // Chunk-level producer gating for CoCoNet/FuseLib.
         let input: Option<InputTiles> = match (&self.overlap, &ctx.prev_gemm) {
             (Overlap::Chunked { .. }, Some((tg, m, n))) => {
-                let chunks = nvls::ring::global_chunks(
-                    bytes_full,
-                    ctx.cfg.n_gpus,
-                    ctx.cfg.coll_chunk_bytes,
-                );
+                let chunks =
+                    nvls::ring::global_chunks(bytes_full, ctx.cfg.n_gpus, ctx.cfg.coll_chunk_bytes);
                 Some(chunk_input_tiles(
                     &chunks,
                     &tg.tiles,
@@ -342,28 +339,64 @@ impl BaselineStrategy {
         };
         let out: CollOutput = match (self.transport, kind) {
             (Transport::Ring, CollKind::AllGather) => ring_all_gather(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
             (Transport::Ring, CollKind::ReduceScatter) => ring_reduce_scatter(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
             (Transport::Ring, CollKind::AllReduce) => ring_all_reduce(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
             (Transport::Nvls, CollKind::AllGather) => nvls_all_gather(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
             (Transport::Nvls, CollKind::ReduceScatter) => nvls_reduce_scatter(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
             (Transport::Nvls, CollKind::AllReduce) => nvls_all_reduce(
-                &mut ctx.prog, &mut ctx.ids, ctx.cfg, &ctx.cost, &name, bytes_full,
-                &after, input.as_ref(),
+                &mut ctx.prog,
+                &mut ctx.ids,
+                ctx.cfg,
+                &ctx.cost,
+                &name,
+                bytes_full,
+                &after,
+                input.as_ref(),
             ),
         };
 

@@ -1,77 +1,42 @@
-//! One Criterion benchmark per paper table/figure.
+//! One benchmark target per paper table/figure.
 //!
 //! Each target regenerates the experiment at the reduced (smoke) scale:
-//! the first invocation prints the table (so `cargo bench` output doubles
-//! as a results report), then Criterion times repeated regeneration.
+//! the first invocation prints the table (so `cargo bench` output
+//! doubles as a results report), then repeated regeneration is timed.
 //! Paper-scale tables come from `cargo run --release --bin
 //! cais-experiments -- all`.
 
-use cais_harness::runner::Scale;
+use cais_bench::{black_box, timeit, Scale};
 use cais_harness::Table;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::sync::Once;
-use std::time::Duration;
 
-fn bench_experiment(
-    c: &mut Criterion,
-    name: &'static str,
-    f: fn(Scale) -> Vec<Table>,
-    once: &'static Once,
-) {
-    once.call_once(|| {
-        for t in f(Scale::Smoke) {
-            println!("{}", t.render());
-        }
-    });
-    let mut group = c.benchmark_group("experiments");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(12))
-        .warm_up_time(Duration::from_secs(2));
-    group.bench_function(name, |b| {
-        b.iter(|| {
-            let tables = f(Scale::Smoke);
-            criterion::black_box(tables.len())
-        })
-    });
-    group.finish();
+fn bench_experiment(name: &str, f: fn(Scale, usize) -> Vec<Table>) {
+    for t in f(Scale::Smoke, 1) {
+        println!("{}", t.render());
+    }
+    timeit(name, 3, || black_box(f(Scale::Smoke, 1).len()));
 }
 
-macro_rules! experiment_bench {
-    ($fn_name:ident, $name:literal, $path:path) => {
-        fn $fn_name(c: &mut Criterion) {
-            static ONCE: Once = Once::new();
-            bench_experiment(c, $name, $path, &ONCE);
+type Target = (&'static str, fn(Scale, usize) -> Vec<Table>);
+
+fn main() {
+    let targets: Vec<Target> = vec![
+        ("fig02_scaling", cais_harness::fig02::run),
+        ("fig11_end_to_end", cais_harness::fig11::run),
+        ("fig12_sublayer", cais_harness::fig12::run),
+        ("fig13_merge_table", cais_harness::fig13::run),
+        ("fig14_table_sweep", cais_harness::fig14::run),
+        ("fig15_bandwidth", cais_harness::fig15::run),
+        ("fig16_timeline", cais_harness::fig16::run),
+        ("fig17_scalability", cais_harness::fig17::run),
+        ("fig18_validation", cais_harness::fig18::run),
+        ("table2_validation", cais_harness::table2::run),
+        ("area_overhead", cais_harness::area::run),
+        ("ablation_suite", cais_harness::ablations::run),
+    ];
+    let filter = std::env::args().nth(1).filter(|a| !a.starts_with("--"));
+    for (name, f) in targets {
+        if filter.as_deref().is_none_or(|pat| name.contains(pat)) {
+            bench_experiment(name, f);
         }
-    };
+    }
 }
-
-experiment_bench!(fig02_scaling, "fig02_scaling", cais_harness::fig02::run);
-experiment_bench!(fig11_end_to_end, "fig11_end_to_end", cais_harness::fig11::run);
-experiment_bench!(fig12_sublayer, "fig12_sublayer", cais_harness::fig12::run);
-experiment_bench!(fig13_merge_table, "fig13_merge_table", cais_harness::fig13::run);
-experiment_bench!(fig14_table_sweep, "fig14_table_sweep", cais_harness::fig14::run);
-experiment_bench!(fig15_bandwidth, "fig15_bandwidth", cais_harness::fig15::run);
-experiment_bench!(fig16_timeline, "fig16_timeline", cais_harness::fig16::run);
-experiment_bench!(fig17_scalability, "fig17_scalability", cais_harness::fig17::run);
-experiment_bench!(fig18_validation, "fig18_validation", cais_harness::fig18::run);
-experiment_bench!(table2_validation, "table2_validation", cais_harness::table2::run);
-experiment_bench!(area_overhead, "area_overhead", cais_harness::area::run);
-experiment_bench!(ablation_suite, "ablation_suite", cais_harness::ablations::run);
-
-criterion_group!(
-    benches,
-    fig02_scaling,
-    fig11_end_to_end,
-    fig12_sublayer,
-    fig13_merge_table,
-    fig14_table_sweep,
-    fig15_bandwidth,
-    fig16_timeline,
-    fig17_scalability,
-    fig18_validation,
-    table2_validation,
-    area_overhead,
-    ablation_suite
-);
-criterion_main!(benches);

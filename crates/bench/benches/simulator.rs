@@ -2,14 +2,13 @@
 //! fabric serialization, GPU TB scheduling, the merge unit, and one
 //! end-to-end sub-layer per strategy family.
 
+use cais_bench::{black_box, timeit};
 use cais_core::{merge::Waiter, CaisStrategy, MergeConfig, MergeUnit};
 use cais_engine::{strategy::execute, SystemConfig};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gpu_sim::{GpuConfig, GpuSim, KernelDesc, TbDesc};
 use llm_workload::{sublayer, ModelConfig, SubLayer};
 use noc_sim::{Fabric, FabricConfig, FlowClass, Payload, PureRouter};
 use sim_core::{Addr, EventQueue, GpuId, PlaneId, SimDuration, SimTime, TbId};
-use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct Blob(u64);
@@ -22,100 +21,88 @@ impl Payload for Blob {
     }
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim_core/event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_ns(i * 7919 % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            criterion::black_box(sum)
-        })
+fn bench_event_queue() {
+    timeit("sim_core/event_queue_push_pop_10k", 20, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_ns(i * 7919 % 100_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
 }
 
-fn bench_fabric(c: &mut Criterion) {
-    c.bench_function("noc_sim/fabric_1k_packets", |b| {
-        b.iter(|| {
-            let mut f = Fabric::new(FabricConfig::default_for(8, 4), PureRouter);
-            for i in 0..1_000u64 {
-                f.inject(
-                    SimTime::from_ns(i),
-                    GpuId((i % 8) as u16),
-                    GpuId(((i + 1) % 8) as u16),
-                    PlaneId((i % 4) as u16),
-                    Blob(4096),
+fn bench_fabric() {
+    timeit("noc_sim/fabric_1k_packets", 20, || {
+        let mut f = Fabric::new(FabricConfig::default_for(8, 4), PureRouter);
+        for i in 0..1_000u64 {
+            f.inject(
+                SimTime::from_ns(i),
+                GpuId((i % 8) as u16),
+                GpuId(((i + 1) % 8) as u16),
+                PlaneId((i % 4) as u16),
+                Blob(4096),
+            );
+        }
+        f.run_to_completion();
+        black_box(f.drain_deliveries().len())
+    });
+}
+
+fn bench_gpu_dispatch() {
+    timeit("gpu_sim/dispatch_2k_tbs", 20, || {
+        let mut gpu = GpuSim::new(GpuConfig::h100_half(), 7);
+        let tbs: Vec<TbDesc> = (0..2_000)
+            .map(|i| TbDesc::compute_only(TbId(i), i, SimDuration::from_us(1)))
+            .collect();
+        gpu.launch_kernel(
+            SimTime::ZERO,
+            KernelDesc::new(sim_core::KernelId(0), "k", tbs),
+        );
+        while let Some(t) = gpu.next_time() {
+            gpu.advance(t);
+        }
+        black_box(gpu.drain_effects().len())
+    });
+}
+
+fn bench_merge_unit() {
+    timeit("cais_core/merge_unit_4k_requests", 20, || {
+        let mut m = MergeUnit::new(MergeConfig::paper_default(8));
+        let mut out = Vec::new();
+        for i in 0..500u64 {
+            let addr = Addr::new(GpuId(0), i * 128);
+            for g in 1..8u16 {
+                m.on_load_req(
+                    SimTime::from_ns(i * 100 + g as u64),
+                    PlaneId(0),
+                    addr,
+                    4096,
+                    Waiter {
+                        requester: GpuId(g),
+                        tb: TbId(g as u64),
+                        tile: None,
+                    },
+                    &mut out,
                 );
             }
-            f.run_to_completion();
-            criterion::black_box(f.drain_deliveries().len())
-        })
+            m.on_load_resp(
+                SimTime::from_ns(i * 100 + 500),
+                PlaneId(0),
+                addr,
+                4096,
+                &mut out,
+            );
+            out.clear();
+        }
+        black_box(m.stats().loads_merged)
     });
 }
 
-fn bench_gpu_dispatch(c: &mut Criterion) {
-    c.bench_function("gpu_sim/dispatch_2k_tbs", |b| {
-        b.iter_batched(
-            || {
-                let mut gpu = GpuSim::new(GpuConfig::h100_half(), 7);
-                let tbs: Vec<TbDesc> = (0..2_000)
-                    .map(|i| TbDesc::compute_only(TbId(i), i, SimDuration::from_us(1)))
-                    .collect();
-                gpu.launch_kernel(
-                    SimTime::ZERO,
-                    KernelDesc::new(sim_core::KernelId(0), "k", tbs),
-                );
-                gpu
-            },
-            |mut gpu| {
-                while let Some(t) = gpu.next_time() {
-                    gpu.advance(t);
-                }
-                criterion::black_box(gpu.drain_effects().len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_merge_unit(c: &mut Criterion) {
-    c.bench_function("cais_core/merge_unit_4k_requests", |b| {
-        b.iter(|| {
-            let mut m = MergeUnit::new(MergeConfig::paper_default(8));
-            let mut out = Vec::new();
-            for i in 0..500u64 {
-                let addr = Addr::new(GpuId(0), i * 128);
-                for g in 1..8u16 {
-                    m.on_load_req(
-                        SimTime::from_ns(i * 100 + g as u64),
-                        PlaneId(0),
-                        addr,
-                        4096,
-                        Waiter {
-                            requester: GpuId(g),
-                            tb: TbId(g as u64),
-                            tile: None,
-                        },
-                        &mut out,
-                    );
-                }
-                m.on_load_resp(SimTime::from_ns(i * 100 + 500), PlaneId(0), addr, 4096, &mut out);
-                out.clear();
-            }
-            criterion::black_box(m.stats().loads_merged)
-        })
-    });
-}
-
-fn bench_sublayer_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(10));
+fn bench_sublayer_end_to_end() {
     let cfg = SystemConfig::dgx_h100();
     let model = ModelConfig {
         hidden: 1024,
@@ -126,27 +113,18 @@ fn bench_sublayer_end_to_end(c: &mut Criterion) {
         ..ModelConfig::llama_7b()
     };
     let dfg = sublayer(&model, cfg.tp(), SubLayer::L1);
-    group.bench_function("cais_full_sublayer", |b| {
-        b.iter(|| {
-            let r = execute(&CaisStrategy::full(), &dfg, &cfg);
-            criterion::black_box(r.total)
-        })
+    timeit("end_to_end/cais_full_sublayer", 5, || {
+        black_box(execute(&CaisStrategy::full(), &dfg, &cfg).total)
     });
-    group.bench_function("cais_base_sublayer", |b| {
-        b.iter(|| {
-            let r = execute(&CaisStrategy::base(), &dfg, &cfg);
-            criterion::black_box(r.total)
-        })
+    timeit("end_to_end/cais_base_sublayer", 5, || {
+        black_box(execute(&CaisStrategy::base(), &dfg, &cfg).total)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_fabric,
-    bench_gpu_dispatch,
-    bench_merge_unit,
-    bench_sublayer_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_fabric();
+    bench_gpu_dispatch();
+    bench_merge_unit();
+    bench_sublayer_end_to_end();
+}

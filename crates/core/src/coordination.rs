@@ -94,9 +94,10 @@ pub fn coordinate_row(
 /// Inserts a pre-access sync point before the first CAIS-tagged memory
 /// phase (the paper's "first `*.cais` instruction of a warp").
 fn insert_pre_access(tb: &mut TbDesc) {
-    let pos = tb.phases.iter().position(
-        |p| matches!(p, Phase::IssueMem { ops, .. } if ops.iter().any(|o| o.cais)),
-    );
+    let pos = tb
+        .phases
+        .iter()
+        .position(|p| matches!(p, Phase::IssueMem { ops, .. } if ops.iter().any(|o| o.cais)));
     if let Some(pos) = pos {
         // Idempotence: skip if a sync already sits right before it.
         if pos > 0 && matches!(tb.phases[pos - 1], Phase::SyncGroup(_)) {
@@ -154,10 +155,7 @@ mod tests {
         assert_eq!(a.group, group);
         assert_eq!(b.group, group);
         assert!(a.pre_launch_sync);
-        assert!(matches!(
-            a.phases[1],
-            Phase::SyncGroup(SyncKind::PreAccess)
-        ));
+        assert!(matches!(a.phases[1], Phase::SyncGroup(SyncKind::PreAccess)));
         // The sync sits immediately before the CAIS access.
         assert!(matches!(a.phases[2], Phase::IssueMem { .. }));
     }
@@ -182,12 +180,7 @@ mod tests {
         let mut ids = IdAlloc::new(2);
         let mut a = cais_tb(0);
         let variant = Expr::add(Expr::GpuId, Expr::BlockIdx);
-        let group = coordinate_row(
-            &mut ids,
-            &CoordinationOpts::full(),
-            &mut [&mut a],
-            &variant,
-        );
+        let group = coordinate_row(&mut ids, &CoordinationOpts::full(), &mut [&mut a], &variant);
         assert!(group.is_none());
     }
 
@@ -201,10 +194,7 @@ mod tests {
         };
         coordinate_row(&mut ids, &opts, &mut [&mut a], &invariant_expr());
         assert!(a.group.is_some());
-        assert!(!a
-            .phases
-            .iter()
-            .any(|p| matches!(p, Phase::SyncGroup(_))));
+        assert!(!a.phases.iter().any(|p| matches!(p, Phase::SyncGroup(_))));
     }
 
     #[test]

@@ -120,8 +120,7 @@ pub fn plan(dfg: &Dfg) -> FusionPlan {
                 ..
             } => {
                 let c = dfg.consumers(id).into_iter().find(|c| {
-                    matches!(dfg.node(*c).kind, NodeKind::Gemm { .. })
-                        && !consumed.contains(c)
+                    matches!(dfg.node(*c).kind, NodeKind::Gemm { .. }) && !consumed.contains(c)
                 });
                 if let Some(c) = c {
                     consumed.insert(id);
@@ -157,10 +156,7 @@ fn try_pipeline(dfg: &Dfg, gemm: NodeId, consumed: &mut HashSet<NodeId>) -> Opti
     // Walk shard-local middle ops.
     let mut middle = Vec::new();
     let mut cur = reduce;
-    loop {
-        let Some(next) = single_consumer(dfg, cur) else {
-            break;
-        };
+    while let Some(next) = single_consumer(dfg, cur) {
         match &dfg.node(next).kind {
             NodeKind::LayerNorm { .. } | NodeKind::Elementwise { .. } => {
                 middle.push(next);

@@ -38,11 +38,15 @@ pub enum Expr {
 
 impl Expr {
     /// Convenience: `a + b`.
+    // A two-argument constructor, not arithmetic on `self` — the
+    // `std::ops` traits don't fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
 
     /// Convenience: `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))
     }

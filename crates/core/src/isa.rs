@@ -126,7 +126,13 @@ impl CaisInstr {
 
 impl fmt::Display for CaisInstr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}], {}B", self.mnemonic(), self.addr(), self.bytes())
+        write!(
+            f,
+            "{} [{}], {}B",
+            self.mnemonic(),
+            self.addr(),
+            self.bytes()
+        )
     }
 }
 

@@ -9,7 +9,7 @@
 //! timeout-based forward-progress mechanism bound the table.
 
 use sim_core::{Addr, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A queued load requester.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,9 +135,17 @@ pub enum MergeAction {
 
 #[derive(Debug)]
 enum SessionKind {
-    LoadWait { waiters: Vec<Waiter> },
-    LoadReady { served: u32 },
-    Reduction { contribs: u32, contributors: Vec<GpuId>, tile: Option<TileId> },
+    LoadWait {
+        waiters: Vec<Waiter>,
+    },
+    LoadReady {
+        served: u32,
+    },
+    Reduction {
+        contribs: u32,
+        contributors: Vec<GpuId>,
+        tile: Option<TileId>,
+    },
 }
 
 #[derive(Debug)]
@@ -170,7 +178,11 @@ struct Port {
 #[derive(Debug)]
 pub struct MergeUnit {
     cfg: MergeConfig,
-    ports: HashMap<(PlaneId, GpuId), Port>,
+    /// Per-port state, keyed `(plane, home GPU)`. A `BTreeMap` so that
+    /// every multi-port walk (notably the timeout [`MergeUnit::sweep`],
+    /// whose `MergeAction`s are sequence-numbered by the caller) visits
+    /// ports in a host-independent order.
+    ports: BTreeMap<(PlaneId, GpuId), Port>,
     stats: MergeStats,
 }
 
@@ -184,7 +196,7 @@ impl MergeUnit {
         assert!(cfg.n_gpus >= 2, "merging needs at least two GPUs");
         MergeUnit {
             cfg,
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             stats: MergeStats::default(),
         }
     }
@@ -239,7 +251,11 @@ impl MergeUnit {
                 SessionKind::LoadReady { served } => {
                     *served += 1;
                     self.stats.loads_merged += 1;
-                    out.push(MergeAction::RespondLoad { waiter, addr, bytes });
+                    out.push(MergeAction::RespondLoad {
+                        waiter,
+                        addr,
+                        bytes,
+                    });
                     if entry.count + prior >= full {
                         Self::release(&mut self.stats, port, addr, full);
                     }
@@ -249,7 +265,11 @@ impl MergeUnit {
                     // treat as unmergeable.
                     self.stats.bypasses += 1;
                     self.stats.loads_forwarded += 1;
-                    out.push(MergeAction::ForwardLoad { waiter, addr, bytes });
+                    out.push(MergeAction::ForwardLoad {
+                        waiter,
+                        addr,
+                        bytes,
+                    });
                 }
             }
             return;
@@ -260,7 +280,11 @@ impl MergeUnit {
         if !Self::make_room(&self.cfg, &mut self.stats, port, need, out) {
             self.stats.bypasses += 1;
             self.stats.loads_forwarded += 1;
-            out.push(MergeAction::ForwardLoad { waiter, addr, bytes });
+            out.push(MergeAction::ForwardLoad {
+                waiter,
+                addr,
+                bytes,
+            });
             return;
         }
         port.occupancy += need;
@@ -281,7 +305,11 @@ impl MergeUnit {
             },
         );
         self.stats.loads_forwarded += 1;
-        out.push(MergeAction::ForwardLoad { waiter, addr, bytes });
+        out.push(MergeAction::ForwardLoad {
+            waiter,
+            addr,
+            bytes,
+        });
     }
 
     /// Handles load data returning from the home GPU. Returns `true` if
@@ -343,6 +371,9 @@ impl MergeUnit {
     }
 
     /// Handles an incoming `red.cais` contribution.
+    // The argument list mirrors the wire message field-for-field;
+    // bundling them into a struct would just rename the packet.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_reduce(
         &mut self,
         now: SimTime,
@@ -696,9 +727,27 @@ mod tests {
         let a1 = Addr::new(GpuId(0), 0x1000);
         let a2 = Addr::new(GpuId(0), 0x2000);
         let mut out = Vec::new();
-        m.on_reduce(t(1), PLANE, a1, 8192, GpuId(1), 1, Some(TileId(1)), &mut out);
+        m.on_reduce(
+            t(1),
+            PLANE,
+            a1,
+            8192,
+            GpuId(1),
+            1,
+            Some(TileId(1)),
+            &mut out,
+        );
         assert!(out.is_empty());
-        m.on_reduce(t(2), PLANE, a2, 8192, GpuId(2), 1, Some(TileId(2)), &mut out);
+        m.on_reduce(
+            t(2),
+            PLANE,
+            a2,
+            8192,
+            GpuId(2),
+            1,
+            Some(TileId(2)),
+            &mut out,
+        );
         let flushed: Vec<_> = out
             .iter()
             .filter_map(|a| match a {
@@ -710,7 +759,16 @@ mod tests {
         assert_eq!(m.stats().evictions_lru, 1);
         // Late contribution to a1 opens a fresh session.
         out.clear();
-        m.on_reduce(t(3), PLANE, a1, 8192, GpuId(3), 1, Some(TileId(1)), &mut out);
+        m.on_reduce(
+            t(3),
+            PLANE,
+            a1,
+            8192,
+            GpuId(3),
+            1,
+            Some(TileId(1)),
+            &mut out,
+        );
         assert_eq!(m.stats().bypasses, 0);
     }
 
@@ -792,19 +850,53 @@ mod tests {
         let a1 = Addr::new(GpuId(0), 0x1000);
         let a2 = Addr::new(GpuId(0), 0x3000);
         let mut out = Vec::new();
-        m.on_reduce(t(1), PLANE, a1, 8192, GpuId(1), 1, Some(TileId(1)), &mut out);
-        m.on_reduce(t(2), PLANE, a1, 8192, GpuId(2), 1, Some(TileId(1)), &mut out);
+        m.on_reduce(
+            t(1),
+            PLANE,
+            a1,
+            8192,
+            GpuId(1),
+            1,
+            Some(TileId(1)),
+            &mut out,
+        );
+        m.on_reduce(
+            t(2),
+            PLANE,
+            a1,
+            8192,
+            GpuId(2),
+            1,
+            Some(TileId(1)),
+            &mut out,
+        );
         // a2 evicts a1 (partial flush of 2 contributions).
-        m.on_reduce(t(3), PLANE, a2, 8192, GpuId(1), 1, Some(TileId(2)), &mut out);
+        m.on_reduce(
+            t(3),
+            PLANE,
+            a2,
+            8192,
+            GpuId(1),
+            1,
+            Some(TileId(2)),
+            &mut out,
+        );
         // a1's last contribution arrives: must flush immediately.
         out.clear();
-        m.on_reduce(t(4), PLANE, a1, 8192, GpuId(3), 1, Some(TileId(1)), &mut out);
+        m.on_reduce(
+            t(4),
+            PLANE,
+            a1,
+            8192,
+            GpuId(3),
+            1,
+            Some(TileId(1)),
+            &mut out,
+        );
         let flushed: Vec<u32> = out
             .iter()
             .filter_map(|x| match x {
-                MergeAction::FlushReduce { addr, contribs, .. } if *addr == a1 => {
-                    Some(*contribs)
-                }
+                MergeAction::FlushReduce { addr, contribs, .. } if *addr == a1 => Some(*contribs),
                 _ => None,
             })
             .collect();
@@ -837,7 +929,9 @@ mod tests {
         // address (2 prior + 1 = full).
         out.clear();
         m.on_load_req(t(10), PLANE, addr, 4096, waiter(3), &mut out);
-        assert!(out.iter().any(|a| matches!(a, MergeAction::ForwardLoad { .. })));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, MergeAction::ForwardLoad { .. })));
         out.clear();
         assert!(m.on_load_resp(t(12), PLANE, addr, 4096, &mut out));
         assert_eq!(

@@ -358,8 +358,9 @@ impl CaisStrategy {
                 // for AllReduce each GPU then ld.cais-gathers the rest.
                 for s in 0..p {
                     let owner = GpuId(s as u16);
-                    for (ci, (off, len)) in
-                        cais_engine::lower::chunk_ranges(shard, pkt).into_iter().enumerate()
+                    for (ci, (off, len)) in cais_engine::lower::chunk_ranges(shard, pkt)
+                        .into_iter()
+                        .enumerate()
                     {
                         let addr = ctx.ids.addr(owner, len);
                         let _ = off;
@@ -368,7 +369,7 @@ impl CaisStrategy {
                         let mut row: Vec<TbDesc> = (0..ctx.p())
                             .map(|_g| TbDesc {
                                 id: ctx.ids.tb(),
-                                order_key: (s * 4096 + ci as u64) * 4 + 0,
+                                order_key: (s * 4096 + ci as u64) * 4,
                                 group: None,
                                 pre_launch_sync: false,
                                 phases: vec![
@@ -394,9 +395,7 @@ impl CaisStrategy {
                                 &mut refs,
                                 &Expr::mul(Expr::BlockIdx, Expr::Const(pkt as i64)),
                             ) {
-                                self.group_expected
-                                    .borrow_mut()
-                                    .insert(grp, ctx.p() as u32);
+                                self.group_expected.borrow_mut().insert(grp, ctx.p() as u32);
                             }
                         }
                         for (g, tb) in row.into_iter().enumerate() {
@@ -414,13 +413,13 @@ impl CaisStrategy {
                         });
                         ctx.prog.tb_ready_deps.insert(wid, vec![tile]);
                         if kind == CollKind::AllReduce {
-                            for g in 0..ctx.p() {
+                            for (g, gpu_tbs) in per_gpu_tbs.iter_mut().enumerate() {
                                 if g == owner.index() {
                                     continue;
                                 }
                                 let lid = ctx.ids.tb();
                                 let gtile = ctx.ids.tile();
-                                per_gpu_tbs[g].push(TbDesc {
+                                gpu_tbs.push(TbDesc {
                                     id: lid,
                                     order_key: (s * 4096 + ci as u64) * 4 + 2,
                                     group: None,
@@ -445,17 +444,18 @@ impl CaisStrategy {
             CollKind::AllGather => {
                 for s in 0..p {
                     let owner = GpuId(s as u16);
-                    for (ci, (_off, len)) in
-                        cais_engine::lower::chunk_ranges(shard, pkt).into_iter().enumerate()
+                    for (ci, (_off, len)) in cais_engine::lower::chunk_ranges(shard, pkt)
+                        .into_iter()
+                        .enumerate()
                     {
                         let addr = ctx.ids.addr(owner, len);
                         let tile = ctx.ids.tile();
-                        for g in 0..ctx.p() {
+                        for (g, gpu_tbs) in per_gpu_tbs.iter_mut().enumerate() {
                             if g == owner.index() {
                                 continue;
                             }
                             let lid = ctx.ids.tb();
-                            per_gpu_tbs[g].push(TbDesc {
+                            gpu_tbs.push(TbDesc {
                                 id: lid,
                                 order_key: s * 4096 + ci as u64,
                                 group: None,
@@ -493,13 +493,7 @@ impl CaisStrategy {
 
     /// AllGather feeding a GEMM: gathered operand rows are pulled with
     /// `ld.cais` by the consuming GEMM's thread blocks.
-    fn lower_gather_gemm(
-        &self,
-        ctx: &mut LowerCtx,
-        dfg: &Dfg,
-        gather: NodeId,
-        consumer: NodeId,
-    ) {
+    fn lower_gather_gemm(&self, ctx: &mut LowerCtx, dfg: &Dfg, gather: NodeId, consumer: NodeId) {
         let NodeKind::Gemm { m, n, k } = dfg.node(consumer).kind else {
             panic!("GatherGemm consumer must be a GEMM");
         };
@@ -557,9 +551,7 @@ impl CaisStrategy {
             let mut row_addrs = Vec::with_capacity(n_nb as usize);
             for _ni in 0..n_nb {
                 let t = ctx.ids.tile();
-                ctx.prog
-                    .tile_expected
-                    .insert(t, (n_sub * p) as u32);
+                ctx.prog.tile_expected.insert(t, (n_sub * p) as u32);
                 row_tiles.push(t);
                 row_addrs.push(ctx.ids.addr(owner, tile_bytes));
             }
@@ -611,9 +603,7 @@ impl CaisStrategy {
                         &mut refs,
                         &Expr::mul(Expr::BlockIdx, Expr::Const(tile_bytes as i64)),
                     ) {
-                        self.group_expected
-                            .borrow_mut()
-                            .insert(grp, ctx.p() as u32);
+                        self.group_expected.borrow_mut().insert(grp, ctx.p() as u32);
                     }
                 }
                 for (g, tb) in row.into_iter().enumerate() {
@@ -635,9 +625,7 @@ impl CaisStrategy {
         let mid_time_per_row: SimDuration = middle
             .iter()
             .map(|id| match &dfg.node(*id).kind {
-                NodeKind::LayerNorm { cols, .. } => {
-                    ctx.low.cost.elementwise(*cols, elem, 8.0)
-                }
+                NodeKind::LayerNorm { cols, .. } => ctx.low.cost.elementwise(*cols, elem, 8.0),
                 NodeKind::Elementwise {
                     cols,
                     flops_per_elem,
@@ -742,8 +730,7 @@ impl CaisStrategy {
             } else {
                 mid_kids.clone()
             };
-            let out =
-                self.emit_ag_gemm_kernels(ctx, &name, m, n, k, Some(&mid_tiles), after);
+            let out = self.emit_ag_gemm_kernels(ctx, &name, m, n, k, Some(&mid_tiles), after);
             ctx.set_stage_output(out);
         } else if !mid_kids.is_empty() {
             ctx.set_stage_output(mid_kids);
@@ -779,8 +766,7 @@ impl CaisStrategy {
         // Operand tiles of the gathered matrix: one address + TileId per
         // (mi, kt), shared by every GPU (the TileDirectory tracks
         // presence per GPU; the merge unit sees identical addresses).
-        let mut op_tiles: Vec<Vec<(sim_core::Addr, TileId)>> =
-            Vec::with_capacity(n_mb as usize);
+        let mut op_tiles: Vec<Vec<(sim_core::Addr, TileId)>> = Vec::with_capacity(n_mb as usize);
         for mi in 0..n_mb {
             let owner = self.shard_owner(mi, n_mb, p);
             let mut row = Vec::with_capacity(n_kb as usize);
@@ -800,7 +786,7 @@ impl CaisStrategy {
             for ni in 0..n_nb {
                 let n_len = tile.min(n - ni * tile);
                 let t_compute = ctx.low.gemm_tb_time(m_len, n_len, k);
-                for g in 0..ctx.p() {
+                for (g, gpu_tbs) in tbs.iter_mut().enumerate() {
                     let id = ctx.ids.tb();
                     let mut phases = Vec::new();
                     let mut deps = match band_gate {
@@ -850,7 +836,7 @@ impl CaisStrategy {
                     if ni == 0 && g != owner.index() {
                         fetcher_row.push(tb);
                     } else {
-                        tbs[g].push(tb);
+                        gpu_tbs.push(tb);
                     }
                 }
             }
@@ -872,9 +858,9 @@ impl CaisStrategy {
                 // Distribute the fetcher TBs back to their GPUs (they were
                 // built in GPU order, owner skipped).
                 let mut it = fetcher_row.into_iter();
-                for g in 0..ctx.p() {
+                for (g, gpu_tbs) in tbs.iter_mut().enumerate() {
                     if g != owner.index() {
-                        tbs[g].push(it.next().expect("one fetcher per non-owner"));
+                        gpu_tbs.push(it.next().expect("one fetcher per non-owner"));
                     }
                 }
             }
@@ -882,13 +868,7 @@ impl CaisStrategy {
         let mut out = Vec::with_capacity(ctx.p());
         for (g, mut kernel_tbs) in tbs.into_iter().enumerate() {
             kernel_tbs.sort_by_key(|tb| tb.order_key);
-            out.push(ctx.push_kernel(
-                g,
-                &format!("gemm.{name}"),
-                kernel_tbs,
-                after.clone(),
-                false,
-            ));
+            out.push(ctx.push_kernel(g, &format!("gemm.{name}"), kernel_tbs, after.clone(), false));
         }
         out
     }
@@ -952,11 +932,7 @@ mod tests {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
         let coord = execute(&CaisStrategy::full().with_merge_table(None), &dfg, &cfg);
-        let uncoord = execute(
-            &CaisStrategy::base().with_merge_table(None),
-            &dfg,
-            &cfg,
-        );
+        let uncoord = execute(&CaisStrategy::base().with_merge_table(None), &dfg, &cfg);
         let s_coord = coord.mean_request_spread.expect("spread recorded");
         let s_uncoord = uncoord.mean_request_spread.expect("spread recorded");
         assert!(
@@ -973,10 +949,7 @@ mod tests {
         let reqs = report.stat("cais.load_requests").unwrap();
         let merged = report.stat("cais.loads_merged").unwrap();
         // With p=4, up to 2 of every 3 requests merge.
-        assert!(
-            merged / reqs > 0.4,
-            "merge ratio too low: {merged}/{reqs}"
-        );
+        assert!(merged / reqs > 0.4, "merge ratio too low: {merged}/{reqs}");
     }
 
     #[test]

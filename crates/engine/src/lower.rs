@@ -99,9 +99,7 @@ impl GemmLowering {
                 }
                 total
             }
-            NodeKind::AttentionCore { flops, bytes } => {
-                self.cost.tb_time(*flops, *bytes as f64)
-            }
+            NodeKind::AttentionCore { flops, bytes } => self.cost.tb_time(*flops, *bytes as f64),
             NodeKind::LayerNorm { rows, cols } => {
                 self.cost.elementwise(rows * cols, self.elem, 8.0)
             }
@@ -109,7 +107,9 @@ impl GemmLowering {
                 rows,
                 cols,
                 flops_per_elem,
-            } => self.cost.elementwise(rows * cols, self.elem, *flops_per_elem),
+            } => self
+                .cost
+                .elementwise(rows * cols, self.elem, *flops_per_elem),
             NodeKind::Collective { .. } => SimDuration::ZERO,
         }
     }
@@ -143,7 +143,9 @@ impl GemmLowering {
             NodeKind::AttentionCore { flops, bytes } => {
                 // Spread across the device: one TB per SM.
                 let n = sm_count as u64;
-                let t = self.cost.tb_time(*flops / n as f64, *bytes as f64 / n as f64);
+                let t = self
+                    .cost
+                    .tb_time(*flops / n as f64, *bytes as f64 / n as f64);
                 for _ in 0..n {
                     tbs.push(TbDesc::compute_only(ids.tb(), order, t));
                     order += 1;

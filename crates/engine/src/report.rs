@@ -2,7 +2,7 @@
 
 use noc_sim::FabricReport;
 use sim_core::{GpuId, KernelId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Recorded lifetime of one kernel instance.
 #[derive(Debug, Clone)]
@@ -33,8 +33,9 @@ pub struct ExecReport {
     pub gpu_occupancy: Vec<f64>,
     /// Link usage.
     pub fabric: FabricReport,
-    /// Per-kernel lifetimes.
-    pub kernel_spans: HashMap<KernelId, KernelSpan>,
+    /// Per-kernel lifetimes, ordered by [`KernelId`] so every iteration
+    /// (report rows, prefix sums, golden comparisons) is deterministic.
+    pub kernel_spans: BTreeMap<KernelId, KernelSpan>,
     /// Free-form counters exposed by the switch logic (merge statistics).
     pub logic_stats: Vec<(String, f64)>,
     /// Remote fetches avoided by the per-GPU tile directory (L2 capture).
@@ -88,7 +89,7 @@ mod tests {
             total: SimDuration::from_us(total_us),
             gpu_occupancy: vec![0.5, 0.7],
             fabric: FabricReport::new(SimDuration::from_us(total_us), vec![]),
-            kernel_spans: HashMap::new(),
+            kernel_spans: BTreeMap::new(),
             logic_stats: vec![("merge.hits".into(), 42.0)],
             deduped_fetches: 0,
             mean_request_spread: None,

@@ -13,7 +13,11 @@ use noc_sim::SwitchLogic;
 ///
 /// Implementations: the nine baselines in `cais-baselines` and the CAIS
 /// variants in `cais-core`.
-pub trait Strategy {
+///
+/// `Send` is a supertrait so strategies (and `Box<dyn Strategy>`) can be
+/// moved into sweep worker threads; each job constructs and consumes its
+/// strategy on one thread, so no `Sync` is required.
+pub trait Strategy: Send {
     /// Display name used in experiment tables ("TP-NVLS", "CAIS", ...).
     fn name(&self) -> &str;
 

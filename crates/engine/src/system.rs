@@ -7,7 +7,7 @@ use crate::report::{ExecReport, KernelSpan};
 use gpu_sim::{GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
 use noc_sim::{Delivery, Fabric, SwitchLogic};
 use sim_core::{Addr, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime, TbId, TileId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 #[derive(Debug, Default)]
 struct TileEntry {
@@ -36,7 +36,7 @@ pub struct SystemSim {
     dep_remaining: Vec<usize>,
     children: HashMap<KernelId, Vec<usize>>,
     kernels_remaining: usize,
-    kernel_spans: HashMap<KernelId, KernelSpan>,
+    kernel_spans: BTreeMap<KernelId, KernelSpan>,
 
     tb_gpu: HashMap<TbId, GpuId>,
     tb_blocked: HashMap<TbId, usize>,
@@ -77,7 +77,12 @@ impl SystemSim {
             .unwrap_or_else(|e| panic!("invalid program: {e}"));
 
         let gpus: Vec<GpuSim> = (0..cfg.n_gpus)
-            .map(|i| GpuSim::new(cfg.gpu.clone(), cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678)))
+            .map(|i| {
+                GpuSim::new(
+                    cfg.gpu.clone(),
+                    cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678),
+                )
+            })
             .collect();
         let fabric = Fabric::new(cfg.fabric_config(), logic);
 
@@ -122,13 +127,20 @@ impl SystemSim {
             }
             tb_ready_remaining.insert(*tb, tiles.len());
             for tile in tiles {
-                tile_ready_waiters.entry((gpu, *tile)).or_default().push(*tb);
+                tile_ready_waiters
+                    .entry((gpu, *tile))
+                    .or_default()
+                    .push(*tb);
             }
         }
 
         let kernels_remaining = program.kernels.len();
         let throttle = (0..cfg.n_gpus)
-            .map(|_| (0..cfg.n_planes).map(|_| ThrottleState::default()).collect())
+            .map(|_| {
+                (0..cfg.n_planes)
+                    .map(|_| ThrottleState::default())
+                    .collect()
+            })
             .collect();
 
         SystemSim {
@@ -139,7 +151,7 @@ impl SystemSim {
             dep_remaining,
             children,
             kernels_remaining,
-            kernel_spans: HashMap::new(),
+            kernel_spans: BTreeMap::new(),
             tb_gpu,
             tb_blocked: HashMap::new(),
             tb_ready_remaining,
@@ -388,9 +400,21 @@ impl SystemSim {
                     SyncKind::PreAccess => 1,
                 };
                 if kind == SyncKind::PreAccess {
-                    self.preaccess_blocked.entry((gpu, group)).or_default().push(tb);
+                    self.preaccess_blocked
+                        .entry((gpu, group))
+                        .or_default()
+                        .push(tb);
                 }
-                self.inject(t, gpu, gpu, Msg::SyncReq { group, gpu, kind: kind_raw });
+                self.inject(
+                    t,
+                    gpu,
+                    gpu,
+                    Msg::SyncReq {
+                        group,
+                        gpu,
+                        kind: kind_raw,
+                    },
+                );
             }
             GpuEffect::NeedTiles { tb, tiles } => {
                 let mut missing = 0;
@@ -558,12 +582,11 @@ impl SystemSim {
                 MemOpKind::LoadReduce => {
                     if blocking {
                         outstanding += 1;
-                        match op.tile {
-                            // Completion is signaled through the tile.
-                            Some(tile) => self.tile_entry(gpu, tile).resume_waiters.push(tb),
-                            // Tile-less: the LoadResp credits the TB
-                            // directly in `handle_delivery`.
-                            None => {}
+                        // Completion is signaled through the tile; for
+                        // tile-less ops the LoadResp credits the TB
+                        // directly in `handle_delivery`.
+                        if let Some(tile) = op.tile {
+                            self.tile_entry(gpu, tile).resume_waiters.push(tb);
                         }
                     }
                     self.inject(
@@ -630,9 +653,7 @@ impl SystemSim {
                     None => self.dec_blocked(t, tb),
                 }
             }
-            Msg::Reduce {
-                tile, contribs, ..
-            } => {
+            Msg::Reduce { tile, contribs, .. } => {
                 // A (possibly switch-merged) reduction contribution reached
                 // the home GPU.
                 if let Some(tile) = tile {
@@ -723,12 +744,7 @@ impl SystemSim {
                 .map(|((g, grp), tbs)| format!("{g}/{grp}:{}", tbs.len()))
                 .take(8)
                 .collect();
-            let queued: usize = self
-                .throttle
-                .iter()
-                .flatten()
-                .map(|t| t.queue.len())
-                .sum();
+            let queued: usize = self.throttle.iter().flatten().map(|t| t.queue.len()).sum();
             panic!(
                 "deadlock: {} kernels never completed; engine-blocked TBs {engine_blocked}, \
                  pre-access waiters {preaccess:?}, throttle-queued {queued}; kernels: {incomplete:?}",
@@ -814,7 +830,11 @@ mod tests {
         let report = run(cfg, p);
         // 3us launch + round trip (~1us links + serialization) + mem
         // latency + 1us compute: must exceed 5us and be well under 100us.
-        assert!(report.total > SimDuration::from_us(5), "total {}", report.total);
+        assert!(
+            report.total > SimDuration::from_us(5),
+            "total {}",
+            report.total
+        );
         assert!(report.total < SimDuration::from_us(100));
     }
 
@@ -894,7 +914,11 @@ mod tests {
         let mut desc = KernelDesc::new(
             ids.kernel(),
             "consumer",
-            vec![TbDesc::compute_only(consumer_tb, 0, SimDuration::from_us(1))],
+            vec![TbDesc::compute_only(
+                consumer_tb,
+                0,
+                SimDuration::from_us(1),
+            )],
         );
         desc.tbs_auto_ready = false;
         p.push(PlannedKernel {
@@ -1065,7 +1089,11 @@ mod tests {
         let mut desc = KernelDesc::new(
             ids.kernel(),
             "reader",
-            vec![TbDesc::compute_only(consumer_tb, 0, SimDuration::from_us(1))],
+            vec![TbDesc::compute_only(
+                consumer_tb,
+                0,
+                SimDuration::from_us(1),
+            )],
         );
         desc.tbs_auto_ready = false;
         p.push(PlannedKernel {

@@ -61,8 +61,7 @@ impl KernelCost {
     /// [`Self::OPERAND_REUSE`] (`elem` bytes per element).
     pub fn gemm_tile(&self, m: u64, n: u64, k: u64, elem: u64) -> SimDuration {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
-        let bytes =
-            ((m * k + k * n) * elem) as f64 / Self::OPERAND_REUSE + (m * n * elem) as f64;
+        let bytes = ((m * k + k * n) * elem) as f64 / Self::OPERAND_REUSE + (m * n * elem) as f64;
         self.tb_time(flops, bytes)
     }
 

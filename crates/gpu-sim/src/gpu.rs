@@ -194,8 +194,10 @@ impl GpuSim {
         );
         if kernel.tbs.is_empty() {
             // Degenerate but legal: completes right after arming.
-            self.effects
-                .push((time + overhead, GpuEffect::KernelCompleted { kernel: kernel.id }));
+            self.effects.push((
+                time + overhead,
+                GpuEffect::KernelCompleted { kernel: kernel.id },
+            ));
         }
         for tb in kernel.tbs {
             let id = tb.id;
@@ -213,7 +215,8 @@ impl GpuSim {
             );
             assert!(prev.is_none(), "thread block {id} registered twice");
         }
-        self.queue.push(time + overhead, GpuEvent::KernelArmed(kernel.id));
+        self.queue
+            .push(time + overhead, GpuEvent::KernelArmed(kernel.id));
     }
 
     /// Marks a dependency-gated TB as ready (engine resolved its inputs).
@@ -328,8 +331,8 @@ impl GpuSim {
     }
 
     fn note_occupancy_change(&mut self, now: SimTime, delta: isize) {
-        self.occupancy_integral_ps +=
-            self.slots_in_use as u128 * now.saturating_since(self.occupancy_last_change).as_ps() as u128;
+        self.occupancy_integral_ps += self.slots_in_use as u128
+            * now.saturating_since(self.occupancy_last_change).as_ps() as u128;
         self.occupancy_last_change = self.occupancy_last_change.max(now);
         self.slots_in_use = (self.slots_in_use as isize + delta) as usize;
     }
@@ -371,7 +374,11 @@ impl GpuSim {
                     .filter(|(_, rt)| rt.kernel == kernel)
                     .map(|(id, rt)| {
                         rt.armed = true;
-                        (rt.desc.order_key, *id, rt.deps_ok && !rt.enqueued_or_pending)
+                        (
+                            rt.desc.order_key,
+                            *id,
+                            rt.deps_ok && !rt.enqueued_or_pending,
+                        )
                     })
                     .filter(|(_, _, go)| *go)
                     .map(|(key, id, _)| (key, id))
@@ -387,10 +394,7 @@ impl GpuSim {
             GpuEvent::ReadyAt(tb) => {
                 let rt = &self.tbs[&tb];
                 if rt.desc.pre_launch_sync {
-                    let group = rt
-                        .desc
-                        .group
-                        .expect("pre_launch_sync TB must have a group");
+                    let group = rt.desc.group.expect("pre_launch_sync TB must have a group");
                     if !self.released_groups.contains(&group) {
                         self.tbs.get_mut(&tb).expect("known").state = TbState::PendingGroup;
                         self.pending_group.entry(group).or_default().push(tb);
@@ -475,10 +479,7 @@ impl GpuSim {
                     };
                 }
                 Phase::SyncGroup(kind) => {
-                    let group = rt
-                        .desc
-                        .group
-                        .expect("SyncGroup phase requires a TB group");
+                    let group = rt.desc.group.expect("SyncGroup phase requires a TB group");
                     // Yield the slot for the wait: the warp scheduler
                     // issues independent work meanwhile (paper Sec.
                     // III-B-2), so a cross-GPU sync never pins an SM.
@@ -511,11 +512,13 @@ impl GpuSim {
         let kernel = rt.kernel;
         self.slots_free += 1;
         self.note_occupancy_change(now, -1);
-        self.effects.push((now, GpuEffect::TbCompleted { tb, kernel }));
+        self.effects
+            .push((now, GpuEffect::TbCompleted { tb, kernel }));
         let krt = self.kernels.get_mut(&kernel).expect("kernel exists");
         krt.remaining -= 1;
         if krt.remaining == 0 {
-            self.effects.push((now, GpuEffect::KernelCompleted { kernel }));
+            self.effects
+                .push((now, GpuEffect::KernelCompleted { kernel }));
         }
         self.queue.push(now, GpuEvent::Dispatch);
     }

@@ -13,16 +13,17 @@
 //!    materializes as end-to-end gains on a multi-layer stack.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_core::CaisStrategy;
 use cais_engine::strategy::execute;
 use llm_workload::{sublayer, transformer_stack, ModelConfig, Pass, SubLayer, TpMode};
 
 /// Runs all three ablations.
-pub fn run(scale: Scale) -> Vec<Table> {
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     vec![
-        run_packet_size(scale),
-        run_credits(scale),
-        run_multi_layer(scale),
+        run_packet_size(scale, jobs),
+        run_credits(scale, jobs),
+        run_multi_layer(scale, jobs),
     ]
 }
 
@@ -40,11 +41,10 @@ fn ablation_model(scale: Scale) -> ModelConfig {
     }
 }
 
-/// Ablation 1: reduction packet granularity.
-pub fn run_packet_size(scale: Scale) -> Table {
+/// Ablation 1: reduction packet granularity. One sweep job per size.
+pub fn run_packet_size(scale: Scale, jobs: usize) -> Table {
     let model = ablation_model(scale);
     let cfg = scale.system();
-    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
     let sizes: Vec<u64> = match scale {
         Scale::Paper => vec![2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10],
         Scale::Smoke => vec![4 << 10, 8 << 10, 32 << 10],
@@ -54,33 +54,46 @@ pub fn run_packet_size(scale: Scale) -> Table {
         "CAIS sensitivity to red.cais packet granularity (L2)",
         vec!["time_us".into(), "peak_table_kb".into()],
     );
-    for bytes in sizes {
-        let r = execute(
-            &CaisStrategy::full()
-                .with_packet_bytes(bytes)
-                .with_merge_table(None),
-            &dfg,
-            &cfg,
-        );
-        table.push(
-            format!("{} KB", bytes >> 10),
-            vec![
-                r.total.as_us_f64(),
-                r.stat("cais.peak_port_occupancy").unwrap_or(0.0) / 1024.0,
-            ],
-        );
+    let manifest: Vec<SweepJob> = sizes
+        .iter()
+        .map(|&bytes| {
+            let (model, cfg) = (model.clone(), cfg.clone());
+            SweepJob::new(format!("packet/{}kb", bytes >> 10), move || {
+                let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+                execute(
+                    &CaisStrategy::full()
+                        .with_packet_bytes(bytes)
+                        .with_merge_table(None),
+                    &dfg,
+                    &cfg,
+                )
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("abl-packet", &results);
+    for (res, &bytes) in results.iter().zip(&sizes) {
+        let peak = res
+            .report()
+            .map(|r| r.stat("cais.peak_port_occupancy").unwrap_or(0.0) / 1024.0)
+            .unwrap_or(f64::NAN);
+        let us = res
+            .report()
+            .map(|r| r.total.as_us_f64())
+            .unwrap_or(f64::NAN);
+        table.push(format!("{} KB", bytes >> 10), vec![us, peak]);
     }
+    table.absorb_failures(&results);
     table.notes = "finer packets shrink the required merge table (shorter session \
                    lifetimes) at the cost of more switch transactions"
         .into();
     table
 }
 
-/// Ablation 2: throttle credits.
-pub fn run_credits(scale: Scale) -> Table {
+/// Ablation 2: throttle credits. One sweep job per credit setting.
+pub fn run_credits(scale: Scale, jobs: usize) -> Table {
     let model = ablation_model(scale);
     let cfg = scale.system();
-    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
     let settings: Vec<(String, Option<usize>)> = vec![
         ("8".into(), Some(8)),
         ("16".into(), Some(16)),
@@ -93,42 +106,76 @@ pub fn run_credits(scale: Scale) -> Table {
         "CAIS sensitivity to throttle credits per (GPU, plane) (L2, 40 KB table)",
         vec!["time_us".into(), "evictions".into()],
     );
-    for (label, credits) in settings {
-        let r = execute(&CaisStrategy::full().with_credits(credits), &dfg, &cfg);
-        let evictions = r.stat("cais.evictions_lru").unwrap_or(0.0)
-            + r.stat("cais.evictions_timeout").unwrap_or(0.0);
-        table.push(label, vec![r.total.as_us_f64(), evictions]);
+    let manifest: Vec<SweepJob> = settings
+        .iter()
+        .map(|(label, credits)| {
+            let (model, cfg, credits) = (model.clone(), cfg.clone(), *credits);
+            SweepJob::new(format!("credits/{label}"), move || {
+                let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+                execute(&CaisStrategy::full().with_credits(credits), &dfg, &cfg)
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("abl-credits", &results);
+    for (res, (label, _)) in results.iter().zip(&settings) {
+        let (us, evictions) = match res.report() {
+            Some(r) => (
+                r.total.as_us_f64(),
+                r.stat("cais.evictions_lru").unwrap_or(0.0)
+                    + r.stat("cais.evictions_timeout").unwrap_or(0.0),
+            ),
+            None => (f64::NAN, f64::NAN),
+        };
+        table.push(label.clone(), vec![us, evictions]);
     }
+    table.absorb_failures(&results);
     table.notes = "too few credits starve the links; too many overflow the table \
                    (evictions) when requests burst"
         .into();
     table
 }
 
-/// Ablation 3: cross-layer fusion on a 2-layer stack.
-pub fn run_multi_layer(scale: Scale) -> Table {
+/// Ablation 3: cross-layer fusion on a 2-layer stack. Three sweep jobs:
+/// the two stack strategies plus the single-layer reference.
+pub fn run_multi_layer(scale: Scale, jobs: usize) -> Table {
     let model = ablation_model(scale);
     let cfg = scale.system();
-    let layers = 2;
-    let stack = transformer_stack(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward, layers);
-    let single = transformer_stack(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward, 1);
     let mut table = Table::new(
         "abl-stack",
         "cross-layer fusion: 2-layer stack vs 2x single layer",
         vec!["time_us".into()],
     );
-    for (label, strategy) in [
-        ("CAIS stack", CaisStrategy::full()),
-        ("CAIS-Base stack", CaisStrategy::base()),
-    ] {
-        let r = execute(&strategy, &stack, &cfg);
-        table.push(label, vec![r.total.as_us_f64()]);
+    type StackCase = (&'static str, fn() -> CaisStrategy, u64);
+    let cases: [StackCase; 3] = [
+        ("CAIS stack", CaisStrategy::full, 2),
+        ("CAIS-Base stack", CaisStrategy::base, 2),
+        ("2 x CAIS single layer", CaisStrategy::full, 1),
+    ];
+    let manifest: Vec<SweepJob> = cases
+        .iter()
+        .map(|&(label, make, layers)| {
+            let (model, cfg) = (model.clone(), cfg.clone());
+            SweepJob::new(label, move || {
+                let dfg =
+                    transformer_stack(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward, layers);
+                execute(&make(), &dfg, &cfg)
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("abl-stack", &results);
+    for (res, &(label, _, layers)) in results.iter().zip(&cases) {
+        let mut us = res
+            .report()
+            .map(|r| r.total.as_us_f64())
+            .unwrap_or(f64::NAN);
+        if layers == 1 {
+            us *= 2.0; // the single-layer run stands in for two isolated layers
+        }
+        table.push(label, vec![us]);
     }
-    let single_cais = execute(&CaisStrategy::full(), &single, &cfg);
-    table.push(
-        "2 x CAIS single layer",
-        vec![2.0 * single_cais.total.as_us_f64()],
-    );
+    table.absorb_failures(&results);
     table.notes = "the stack under CAIS should beat two isolated layers: the layer \
                    boundary is an L2-shaped RS+LN+AG chain the optimizer pipelines"
         .into();
@@ -141,7 +188,7 @@ mod tests {
 
     #[test]
     fn finer_packets_shrink_the_required_table() {
-        let t = run_packet_size(Scale::Smoke);
+        let t = run_packet_size(Scale::Smoke, 1);
         let first = &t.rows.first().unwrap(); // 4 KB
         let last = &t.rows.last().unwrap(); // 32 KB
         assert!(
@@ -154,7 +201,7 @@ mod tests {
 
     #[test]
     fn starvation_credits_hurt() {
-        let t = run_credits(Scale::Smoke);
+        let t = run_credits(Scale::Smoke, 1);
         let tight = t.rows[0].1[0];
         let default = t.rows[2].1[0];
         assert!(
@@ -165,7 +212,7 @@ mod tests {
 
     #[test]
     fn stack_fusion_does_not_regress() {
-        let t = run_multi_layer(Scale::Smoke);
+        let t = run_multi_layer(Scale::Smoke, 1);
         let stack = t.rows[0].1[0];
         let two_singles = t.rows[2].1[0];
         assert!(

@@ -3,8 +3,9 @@
 use crate::runner::{Scale, Table};
 use cais_core::area::paper_estimate;
 
-/// Runs the area model.
-pub fn run(_scale: Scale) -> Vec<Table> {
+/// Runs the area model. Analytic only — no simulations, so the job
+/// count is unused.
+pub fn run(_scale: Scale, _jobs: usize) -> Vec<Table> {
     let r = paper_estimate();
     let mut table = Table::new(
         "area",
@@ -31,7 +32,7 @@ mod tests {
 
     #[test]
     fn overheads_are_below_one_percent() {
-        let t = &run(Scale::Paper)[0];
+        let t = &run(Scale::Paper, 1)[0];
         assert!(t.rows[0].1[1] < 1.0);
         assert!(t.rows[1].1[1] < 0.01);
     }

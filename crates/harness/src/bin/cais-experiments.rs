@@ -1,24 +1,65 @@
 //! CLI to regenerate the paper's tables and figures.
 //!
 //! ```text
-//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|all] [--smoke]
+//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|all] [--smoke] [--jobs N]
 //! ```
+//!
+//! `--jobs N` bounds the sweep worker pool (default: the host's
+//! available parallelism). The printed tables are byte-identical at
+//! every worker count; timing diagnostics go to stderr. A simulation
+//! that panics becomes a FAILED line (and NaN cells) in its table, and
+//! the process exits with status 1.
 
-use cais_harness::{runner::Scale, Table};
+use cais_harness::{runner::Scale, sweep, Table};
 use std::time::Instant;
+
+fn parse_jobs(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+        }
+    }
+    sweep::default_jobs()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    let jobs = parse_jobs(&args);
+    let mut skip_next = false;
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--jobs" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
-    let experiments: Vec<(&str, fn(Scale) -> Vec<Table>)> = vec![
+    type Experiment = (&'static str, fn(Scale, usize) -> Vec<Table>);
+    let experiments: Vec<Experiment> = vec![
         ("fig2", cais_harness::fig02::run),
         ("fig11", cais_harness::fig11::run),
         ("fig12", cais_harness::fig12::run),
@@ -36,10 +77,12 @@ fn main() {
 
     let run_all = which.contains(&"all");
     let mut ran = 0;
+    let mut failed = 0usize;
     for (name, f) in &experiments {
         if run_all || which.contains(name) {
             let t0 = Instant::now();
-            for table in f(scale) {
+            for table in f(scale, jobs) {
+                failed += table.failures.len();
                 println!("{}", table.render());
             }
             eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -56,5 +99,9 @@ fn main() {
                 .join(" ")
         );
         std::process::exit(2);
+    }
+    if failed > 0 {
+        eprintln!("{failed} sweep job(s) failed; see FAILED lines above");
+        std::process::exit(1);
     }
 }

@@ -24,7 +24,12 @@ fn dump(name: &str, r: &ExecReport) {
         .collect();
     spans.sort_by_key(|s| s.start);
     for s in spans {
-        println!("  [{:>10} - {:>10}] {}", s.start.to_string(), s.end.to_string(), s.name);
+        println!(
+            "  [{:>10} - {:>10}] {}",
+            s.start.to_string(),
+            s.end.to_string(),
+            s.name
+        );
     }
     for (k, v) in &r.logic_stats {
         println!("  {k} = {v}");

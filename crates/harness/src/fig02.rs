@@ -5,12 +5,13 @@
 //! 4–8 GPUs; at 8 GPUs communication is ~1.6x computation.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_baselines::BaselineStrategy;
 use cais_engine::strategy::execute;
 use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: one sweep job per GPU count.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let gpu_counts: Vec<usize> = match scale {
         Scale::Paper => vec![2, 4, 8, 16],
         Scale::Smoke => vec![2, 4],
@@ -32,39 +33,54 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "fig02",
         "LLaMA-7B per-layer compute vs. communication time (TP-NVLS)",
-        vec![
-            "compute_us".into(),
-            "comm_us".into(),
-            "comm/compute".into(),
-        ],
+        vec!["compute_us".into(), "comm_us".into(), "comm/compute".into()],
     );
-    for p in gpu_counts {
-        let mut cfg = scale.system();
-        cfg.n_gpus = p;
-        cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
-        // This figure is about the compute/communication balance, not
-        // launch noise; quiesce the host-side skew so the per-layer
-        // times reflect work, not jitter.
-        cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
-        cfg.gpu.dispatch_jitter = sim_core::SimDuration::from_us(1);
-        let strategy = BaselineStrategy::tp_nvls();
-        let dfg = transformer_layer(&model, p as u64, TpMode::BasicTp, Pass::Forward);
-        let report = execute(&strategy, &dfg, &cfg);
-        let comm = report.kernel_time_with_prefix("coll.").as_us_f64();
-        let total_named: f64 = report
-            .kernel_spans
-            .values()
-            .filter(|s| s.gpu == sim_core::GpuId(0))
-            .map(|s| s.duration().as_us_f64())
-            .sum();
-        let compute = total_named - comm;
-        table.push(
-            format!("{p} GPUs"),
-            vec![compute, comm, if compute > 0.0 { comm / compute } else { 0.0 }],
-        );
+    let manifest: Vec<SweepJob> = gpu_counts
+        .iter()
+        .map(|&p| {
+            let (scale, model) = (scale, model.clone());
+            SweepJob::new(format!("tp-nvls/{p}gpus"), move || {
+                let mut cfg = scale.system();
+                cfg.n_gpus = p;
+                cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
+                // This figure is about the compute/communication balance,
+                // not launch noise; quiesce the host-side skew so the
+                // per-layer times reflect work, not jitter.
+                cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
+                cfg.gpu.dispatch_jitter = sim_core::SimDuration::from_us(1);
+                let strategy = BaselineStrategy::tp_nvls();
+                let dfg = transformer_layer(&model, p as u64, TpMode::BasicTp, Pass::Forward);
+                execute(&strategy, &dfg, &cfg)
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig02", &results);
+    for (res, p) in results.iter().zip(&gpu_counts) {
+        let (compute, comm) = match res.report() {
+            Some(report) => {
+                let comm = report.kernel_time_with_prefix("coll.").as_us_f64();
+                let total_named: f64 = report
+                    .kernel_spans
+                    .values()
+                    .filter(|s| s.gpu == sim_core::GpuId(0))
+                    .map(|s| s.duration().as_us_f64())
+                    .sum();
+                (total_named - comm, comm)
+            }
+            None => (f64::NAN, f64::NAN),
+        };
+        let ratio = if compute > 0.0 {
+            comm / compute
+        } else if compute.is_nan() {
+            f64::NAN
+        } else {
+            0.0
+        };
+        table.push(format!("{p} GPUs"), vec![compute, comm, ratio]);
     }
-    table.notes =
-        "paper: communication overtakes compute beyond 4-8 GPUs; ~1.6x at 8 GPUs".into();
+    table.absorb_failures(&results);
+    table.notes = "paper: communication overtakes compute beyond 4-8 GPUs; ~1.6x at 8 GPUs".into();
     vec![table]
 }
 
@@ -74,7 +90,7 @@ mod tests {
 
     #[test]
     fn comm_share_grows_with_gpus() {
-        let tables = run(Scale::Smoke);
+        let tables = run(Scale::Smoke, 1);
         let t = &tables[0];
         let r2 = t.cell("2 GPUs", "comm/compute").unwrap();
         let r4 = t.cell("4 GPUs", "comm/compute").unwrap();

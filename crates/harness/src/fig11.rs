@@ -7,12 +7,14 @@
 //! 1.2-1.25x over the NVLS-enhanced overlappers, 1.45x over T3-NVLS,
 //! ~7.6x over LADM, and ~1.45x over CAIS-Base.
 
-use crate::runner::{roster, run_layer, Scale, Table};
+use crate::runner::{layer_job, roster, roster_name, Scale, Table};
+use crate::sweep;
 use llm_workload::{ModelConfig, Pass};
 use sim_core::stats::geomean;
 
-/// Runs the experiment. One table per phase (inference, training).
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment. One table per phase (inference, training); the
+/// sweep manifest is the full strategy × model cross product per phase.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let models: Vec<ModelConfig> = match scale {
         Scale::Paper => ModelConfig::table1(),
         Scale::Smoke => vec![Scale::Smoke.model(&ModelConfig::mega_gpt_4b())],
@@ -31,24 +33,28 @@ pub fn run(scale: Scale) -> Vec<Table> {
             format!("CAIS end-to-end speedup, {phase}"),
             columns,
         );
-        // Measure every strategy on every model.
+        // Measure every strategy on every model, one sweep job each.
         let cfg = scale.system();
-        let entries = roster();
-        let mut times = vec![vec![0.0f64; models.len()]; entries.len()];
-        for (si, entry) in entries.iter().enumerate() {
-            for (mi, model) in models.iter().enumerate() {
-                let report = run_layer(entry, model, &cfg, pass);
-                times[si][mi] = report.total.as_secs_f64();
-            }
-        }
-        let cais_idx = entries.len() - 1;
-        for (si, entry) in entries.iter().enumerate() {
+        let n_entries = roster().len();
+        let manifest: Vec<_> = (0..n_entries)
+            .flat_map(|si| models.iter().map(move |m| (si, m)))
+            .map(|(si, model)| layer_job(si, model, &cfg, pass))
+            .collect();
+        let results = sweep::run_jobs(manifest, jobs);
+        sweep::log_timing("fig11", &results);
+        let times: Vec<Vec<f64>> = results
+            .chunks(models.len())
+            .map(|row| row.iter().map(|r| r.secs()).collect())
+            .collect();
+        let cais_idx = n_entries - 1;
+        for (si, strat_times) in times.iter().enumerate() {
             let mut speedups: Vec<f64> = (0..models.len())
-                .map(|mi| times[si][mi] / times[cais_idx][mi])
+                .map(|mi| strat_times[mi] / times[cais_idx][mi])
                 .collect();
             speedups.push(geomean(&speedups));
-            table.push(format!("vs {}", entry.strategy.name()), speedups);
+            table.push(format!("vs {}", roster_name(si)), speedups);
         }
+        table.absorb_failures(&results);
         table.notes = "values are CAIS time advantage over each system (>1 = CAIS faster); \
                        paper geomeans: TP-NVLS 1.38, SP-NVLS 1.89, CoCoNet 1.98, FuseLib 1.90, \
                        T3 1.61, CoCoNet-NVLS 1.25, FuseLib-NVLS 1.21, T3-NVLS 1.45, LADM 7.6, \
@@ -65,7 +71,7 @@ mod tests {
 
     #[test]
     fn cais_beats_every_baseline_in_smoke_run() {
-        let tables = run(Scale::Smoke);
+        let tables = run(Scale::Smoke, 1);
         let t = &tables[0];
         for (label, values) in &t.rows {
             let geo = *values.last().unwrap();

@@ -5,12 +5,13 @@
 //! end-to-end numbers (e.g. 1.39x over TP-NVLS, 1.64x over T3, 7.9x
 //! over LADM).
 
-use crate::runner::{roster, run_graph, Scale, Table};
+use crate::runner::{roster, roster_name, run_graph, Scale, Table};
+use crate::sweep::{self, SweepJob};
 use llm_workload::{sublayer, ModelConfig, SubLayer};
 use sim_core::stats::geomean;
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: one sweep job per strategy × sub-layer.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let model = scale.model(&ModelConfig::llama_7b());
     let sublayers: Vec<SubLayer> = match scale {
         Scale::Paper => SubLayer::ALL.to_vec(),
@@ -25,23 +26,36 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
 
     let cfg = scale.system();
-    let entries = roster();
-    let mut times = vec![vec![0.0f64; sublayers.len()]; entries.len()];
-    for (si, entry) in entries.iter().enumerate() {
-        for (li, which) in sublayers.iter().enumerate() {
-            let dfg = sublayer(&model, cfg.tp(), *which);
-            let report = run_graph(entry, &dfg, &cfg);
-            times[si][li] = report.total.as_secs_f64();
-        }
-    }
-    let cais_idx = entries.len() - 1;
-    for (si, entry) in entries.iter().enumerate() {
+    let n_entries = roster().len();
+    let manifest: Vec<SweepJob> = (0..n_entries)
+        .flat_map(|si| sublayers.iter().map(move |w| (si, *w)))
+        .map(|(si, which)| {
+            let (model, cfg) = (model.clone(), cfg.clone());
+            SweepJob::new(
+                format!("{}/{}", roster_name(si), which.label()),
+                move || {
+                    let entry = roster().swap_remove(si);
+                    let dfg = sublayer(&model, cfg.tp(), which);
+                    run_graph(&entry, &dfg, &cfg)
+                },
+            )
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig12", &results);
+    let times: Vec<Vec<f64>> = results
+        .chunks(sublayers.len())
+        .map(|row| row.iter().map(|r| r.secs()).collect())
+        .collect();
+    let cais_idx = n_entries - 1;
+    for (si, strat_times) in times.iter().enumerate() {
         let mut speedups: Vec<f64> = (0..sublayers.len())
-            .map(|li| times[si][li] / times[cais_idx][li])
+            .map(|li| strat_times[li] / times[cais_idx][li])
             .collect();
         speedups.push(geomean(&speedups));
-        table.push(format!("vs {}", entry.strategy.name()), speedups);
+        table.push(format!("vs {}", roster_name(si)), speedups);
     }
+    table.absorb_failures(&results);
     table.notes =
         "all systems run the same RS+LN+AG sub-layer graph; paper geomeans: TP-NVLS 1.39, \
          SP-NVLS 1.91, T3 1.64, T3-NVLS 1.47, LADM 7.9, CAIS-Base ~1.47"
@@ -55,7 +69,7 @@ mod tests {
 
     #[test]
     fn sublayer_speedups_favor_cais() {
-        let tables = run(Scale::Smoke);
+        let tables = run(Scale::Smoke, 1);
         let t = &tables[0];
         for (label, values) in &t.rows {
             if label != "vs CAIS" {

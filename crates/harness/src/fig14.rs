@@ -6,6 +6,7 @@
 //! sessions turn into re-fetches and partial flushes).
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_core::strategies::DEFAULT_PACKET_BYTES;
 use cais_core::{CaisStrategy, CoordinationOpts};
 use cais_engine::strategy::execute;
@@ -19,15 +20,15 @@ fn paper_kb_to_bytes(kb: u64) -> u64 {
     entries * (DEFAULT_PACKET_BYTES + 16)
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: two sweep jobs (coordinated, uncoordinated) per
+/// table size.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let sizes_kb: Vec<u64> = match scale {
         Scale::Paper => vec![5, 10, 20, 40, 80, 160, 320],
         Scale::Smoke => vec![10, 40, 160],
     };
     let model = scale.model(&ModelConfig::llama_7b());
     let cfg = scale.system();
-    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
 
     let mut table = Table::new(
         "fig14",
@@ -35,42 +36,48 @@ pub fn run(scale: Scale) -> Vec<Table> {
         vec!["coordinated".into(), "uncoordinated".into()],
     );
 
-    let mut coord_times = Vec::new();
-    let mut uncoord_times = Vec::new();
-    for &kb in &sizes_kb {
-        let bytes = paper_kb_to_bytes(kb);
-        let coord = execute(
-            &CaisStrategy::full().with_merge_table(Some(bytes)),
-            &dfg,
-            &cfg,
-        );
-        let uncoord = execute(
-            &CaisStrategy::full()
-                .with_coordination("w/o-coord", CoordinationOpts::none())
-                .with_merge_table(Some(bytes)),
-            &dfg,
-            &cfg,
-        );
-        coord_times.push(coord.total.as_secs_f64());
-        uncoord_times.push(uncoord.total.as_secs_f64());
-    }
+    let manifest: Vec<SweepJob> = sizes_kb
+        .iter()
+        .flat_map(|&kb| {
+            let mk = |coordinated: bool| {
+                let (model, cfg) = (model.clone(), cfg.clone());
+                let tag = if coordinated { "coord" } else { "uncoord" };
+                SweepJob::new(format!("{kb}kb/{tag}"), move || {
+                    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+                    let bytes = paper_kb_to_bytes(kb);
+                    let mut strategy = CaisStrategy::full().with_merge_table(Some(bytes));
+                    if !coordinated {
+                        strategy =
+                            strategy.with_coordination("w/o-coord", CoordinationOpts::none());
+                    }
+                    execute(&strategy, &dfg, &cfg)
+                })
+            };
+            [mk(true), mk(false)]
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig14", &results);
+    let coord_times: Vec<f64> = results.iter().step_by(2).map(|r| r.secs()).collect();
+    let uncoord_times: Vec<f64> = results
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|r| r.secs())
+        .collect();
     // Normalize to the best (largest-table coordinated) configuration.
     let best = coord_times
         .iter()
         .cloned()
         .fold(f64::INFINITY, f64::min)
-        .min(
-            uncoord_times
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min),
-        );
+        .min(uncoord_times.iter().cloned().fold(f64::INFINITY, f64::min));
     for (i, &kb) in sizes_kb.iter().enumerate() {
         table.push(
             format!("{kb} KB"),
             vec![best / coord_times[i], best / uncoord_times[i]],
         );
     }
+    table.absorb_failures(&results);
     table.notes = "1.0 = best observed; sizes are on the paper's axis (KB at 128 B \
                    entries), mapped to equal entry counts at this simulator's packet \
                    granularity; paper: coordinated holds near-peak at 40 KB while \
@@ -91,7 +98,7 @@ mod tests {
         // assertion lives in EXPERIMENTS.md against the paper-scale run.
         // Here we pin the sweep mechanics: all points exist, are
         // normalized to (0, 1], and the best point is 1.0.
-        let t = &run(Scale::Smoke)[0];
+        let t = &run(Scale::Smoke, 1)[0];
         assert_eq!(t.rows.len(), 3);
         let mut best: f64 = 0.0;
         for (label, v) in &t.rows {

@@ -5,12 +5,23 @@
 //! Paper averages: 62.4% → 84.7% → 90.2%.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_core::CaisStrategy;
 use cais_engine::strategy::execute;
 use llm_workload::{sublayer, ModelConfig, SubLayer};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// The three CAIS variants compared, constructed by index so job
+/// closures can build their own instance on the worker thread.
+fn variant(i: usize) -> (&'static str, CaisStrategy) {
+    match i {
+        0 => ("CAIS-Base", CaisStrategy::base()),
+        1 => ("CAIS-Partial", CaisStrategy::partial()),
+        _ => ("CAIS", CaisStrategy::full()),
+    }
+}
+
+/// Runs the experiment: one sweep job per sub-layer × CAIS variant.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let model = scale.model(&ModelConfig::llama_7b());
     let sublayers: Vec<SubLayer> = match scale {
         Scale::Paper => SubLayer::ALL.to_vec(),
@@ -22,25 +33,33 @@ pub fn run(scale: Scale) -> Vec<Table> {
         "mean link bandwidth utilization per sub-layer (%)",
         vec!["CAIS-Base".into(), "CAIS-Partial".into(), "CAIS".into()],
     );
-    let mut sums = [0.0f64; 3];
-    for which in &sublayers {
-        let dfg = sublayer(&model, cfg.tp(), *which);
-        let mut row = Vec::with_capacity(3);
-        for (i, strategy) in [
-            CaisStrategy::base(),
-            CaisStrategy::partial(),
-            CaisStrategy::full(),
-        ]
+    let manifest: Vec<SweepJob> = sublayers
         .iter()
-        .enumerate()
-        {
-            let report = execute(strategy, &dfg, &cfg);
-            let util = report.fabric.mean_utilization() * 100.0;
+        .flat_map(|&which| (0..3).map(move |i| (which, i)).collect::<Vec<_>>())
+        .map(|(which, i)| {
+            let (model, cfg) = (model.clone(), cfg.clone());
+            SweepJob::new(format!("{}/{}", variant(i).0, which.label()), move || {
+                let dfg = sublayer(&model, cfg.tp(), which);
+                execute(&variant(i).1, &dfg, &cfg)
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig15", &results);
+    let mut sums = [0.0f64; 3];
+    for (triple, which) in results.chunks(3).zip(&sublayers) {
+        let mut row = Vec::with_capacity(3);
+        for (i, res) in triple.iter().enumerate() {
+            let util = res
+                .report()
+                .map(|r| r.fabric.mean_utilization() * 100.0)
+                .unwrap_or(f64::NAN);
             sums[i] += util;
             row.push(util);
         }
         table.push(which.label(), row);
     }
+    table.absorb_failures(&results);
     let n = sublayers.len() as f64;
     table.push("average", sums.iter().map(|s| s / n).collect());
     table.notes = "paper averages: 62.4 / 84.7 / 90.2".into();
@@ -53,7 +72,7 @@ mod tests {
 
     #[test]
     fn optimizer_and_traffic_control_raise_utilization() {
-        let t = &run(Scale::Smoke)[0];
+        let t = &run(Scale::Smoke, 1)[0];
         let avg = &t.rows.last().unwrap().1;
         assert!(
             avg[2] > avg[0],

@@ -6,13 +6,15 @@
 //! fluctuates at low levels.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_core::CaisStrategy;
 use cais_engine::strategy::execute;
 use llm_workload::{sublayer, ModelConfig, SubLayer};
 use sim_core::SimDuration;
 
-/// Runs the experiment; rows are time buckets.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment; rows are time buckets. One sweep job per CAIS
+/// variant.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let model = scale.model(&ModelConfig::llama_7b());
     let mut cfg = scale.system();
     let bucket = match scale {
@@ -20,33 +22,47 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Smoke => SimDuration::from_us(5),
     };
     cfg.fabric.series_bucket = Some(bucket);
-    let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
 
     let mut table = Table::new(
         "fig16",
         "link utilization over time, L2 sub-layer (%)",
         vec!["CAIS-Base".into(), "CAIS-Partial".into(), "CAIS".into()],
     );
-    let mut series = Vec::with_capacity(3);
-    for strategy in [
-        CaisStrategy::base(),
-        CaisStrategy::partial(),
-        CaisStrategy::full(),
-    ] {
-        let report = execute(&strategy, &dfg, &cfg);
-        series.push(report.fabric.mean_series());
-    }
+    type Variant = (&'static str, fn() -> CaisStrategy);
+    let variants: [Variant; 3] = [
+        ("CAIS-Base", CaisStrategy::base),
+        ("CAIS-Partial", CaisStrategy::partial),
+        ("CAIS", CaisStrategy::full),
+    ];
+    let manifest: Vec<SweepJob> = variants
+        .iter()
+        .map(|&(name, make)| {
+            let (model, cfg) = (model.clone(), cfg.clone());
+            SweepJob::new(name, move || {
+                let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+                execute(&make(), &dfg, &cfg)
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig16", &results);
+    let series: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| {
+            r.report()
+                .map(|rep| rep.fabric.mean_series())
+                .unwrap_or_default()
+        })
+        .collect();
     let len = series.iter().map(|s| s.len()).max().unwrap_or(0);
     for i in 0..len {
         let row: Vec<f64> = series
             .iter()
             .map(|s| s.get(i).copied().unwrap_or(0.0) * 100.0)
             .collect();
-        table.push(
-            format!("t={}us", i as u64 * bucket.as_ns() / 1000),
-            row,
-        );
+        table.push(format!("t={}us", i as u64 * bucket.as_ns() / 1000), row);
     }
+    table.absorb_failures(&results);
     table.notes = "each row is one time bucket; CAIS should sustain the highest steady \
                    utilization and finish first (zeros after completion)"
         .into();
@@ -59,13 +75,8 @@ mod tests {
 
     #[test]
     fn cais_sustains_higher_peak_utilization() {
-        let t = &run(Scale::Smoke)[0];
-        let peak = |col: usize| {
-            t.rows
-                .iter()
-                .map(|(_, v)| v[col])
-                .fold(0.0f64, f64::max)
-        };
+        let t = &run(Scale::Smoke, 1)[0];
+        let peak = |col: usize| t.rows.iter().map(|(_, v)| v[col]).fold(0.0f64, f64::max);
         assert!(
             peak(2) >= peak(0),
             "CAIS peak {:.1}% vs base peak {:.1}%",

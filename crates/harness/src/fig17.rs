@@ -6,14 +6,15 @@
 //! from 8 to 32 GPUs.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_baselines::BaselineStrategy;
 use cais_core::CaisStrategy;
 use cais_engine::strategy::execute;
 use cais_engine::Strategy;
 use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: one sweep job per GPU count × strategy.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let (base_p, gpu_counts): (usize, Vec<usize>) = match scale {
         Scale::Paper => (8, vec![8, 16, 32]),
         Scale::Smoke => (4, vec![4, 8]),
@@ -25,33 +26,63 @@ pub fn run(scale: Scale) -> Vec<Table> {
         vec!["CAIS".into(), "CoCoNet-NVLS".into()],
     );
 
-    let mut results: Vec<(usize, f64, f64)> = Vec::new();
-    for &p in &gpu_counts {
+    let make_strategy = |cais: bool| -> Box<dyn Strategy> {
+        if cais {
+            Box::new(CaisStrategy::full())
+        } else {
+            Box::new(BaselineStrategy::coconet_nvls())
+        }
+    };
+    let graph_for = |p: usize, cais: bool| {
         let model = base_model.scale_hidden(p as u64, base_p as u64);
-        let mut cfg = scale.system();
-        cfg.n_gpus = p;
-        cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
-        let mode_for = |s: &dyn Strategy| {
-            if s.name().contains("CoCoNet") {
-                TpMode::BasicTp
-            } else {
-                TpMode::SeqPar
-            }
+        let mode = if cais {
+            TpMode::SeqPar
+        } else {
+            TpMode::BasicTp
         };
-        let throughput = |s: &dyn Strategy| {
-            let dfg = transformer_layer(&model, p as u64, mode_for(s), Pass::Forward);
-            let flops = dfg.total_flops();
-            let report = execute(s, &dfg, &cfg);
-            flops / report.total.as_secs_f64()
-        };
-        let cais = throughput(&CaisStrategy::full());
-        let coco = throughput(&BaselineStrategy::coconet_nvls());
-        results.push((p, cais, coco));
-    }
-    let norm = results[0].1;
-    for (p, cais, coco) in results {
+        transformer_layer(&model, p as u64, mode, Pass::Forward)
+    };
+    let manifest: Vec<SweepJob> = gpu_counts
+        .iter()
+        .flat_map(|&p| {
+            let mk = |cais: bool| {
+                let (scale, base_model) = (scale, base_model.clone());
+                let tag = if cais { "CAIS" } else { "CoCoNet-NVLS" };
+                SweepJob::new(format!("{tag}/{p}gpus"), move || {
+                    let mut cfg = scale.system();
+                    cfg.n_gpus = p;
+                    cfg.fabric = noc_sim::FabricConfig::default_for(p, cfg.n_planes);
+                    let model = base_model.scale_hidden(p as u64, base_p as u64);
+                    let mode = if cais {
+                        TpMode::SeqPar
+                    } else {
+                        TpMode::BasicTp
+                    };
+                    let dfg = transformer_layer(&model, p as u64, mode, Pass::Forward);
+                    execute(make_strategy(cais).as_ref(), &dfg, &cfg)
+                })
+            };
+            [mk(true), mk(false)]
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig17", &results);
+    // FLOP counts come from the (cheap, deterministic) graph build; only
+    // the simulations themselves ran on the pool.
+    let throughputs: Vec<(usize, f64, f64)> = results
+        .chunks(2)
+        .zip(&gpu_counts)
+        .map(|(pair, &p)| {
+            let tput =
+                |res: &sweep::JobResult, cais: bool| graph_for(p, cais).total_flops() / res.secs();
+            (p, tput(&pair[0], true), tput(&pair[1], false))
+        })
+        .collect();
+    let norm = throughputs[0].1;
+    for (p, cais, coco) in throughputs {
         table.push(format!("{p} GPUs"), vec![cais / norm, coco / norm]);
     }
+    table.absorb_failures(&results);
     table.notes = "paper: CAIS per-GPU throughput drop stays within 5% up to 32 GPUs".into();
     vec![table]
 }
@@ -62,7 +93,7 @@ mod tests {
 
     #[test]
     fn per_gpu_throughput_stays_flat() {
-        let t = &run(Scale::Smoke)[0];
+        let t = &run(Scale::Smoke, 1)[0];
         let first = t.rows.first().unwrap().1[0];
         let last = t.rows.last().unwrap().1[0];
         assert!((first - 1.0).abs() < 1e-9);

@@ -10,6 +10,7 @@
 //! size — plus the simulation-vs-reference error.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_engine::{IdAlloc, Program, SystemConfig, SystemSim};
 use gpu_sim::KernelCost;
 use nvls::{nvls_all_reduce, NvlsLogic};
@@ -21,8 +22,8 @@ pub fn reference_time_secs(bytes: u64) -> f64 {
     bytes as f64 / EFFECTIVE_BW + BASE_LATENCY
 }
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: one sweep job per AllReduce message size.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let sizes: Vec<u64> = match scale {
         Scale::Paper => vec![1, 2, 4, 8, 16]
             .into_iter()
@@ -33,44 +34,48 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "fig18",
         "simulated NVLS AllReduce vs NCCL-style analytic reference",
-        vec![
-            "sim_GBps".into(),
-            "ref_GBps".into(),
-            "error_%".into(),
-        ],
+        vec!["sim_GBps".into(), "ref_GBps".into(), "error_%".into()],
     );
+    let manifest: Vec<SweepJob> = sizes
+        .iter()
+        .map(|&bytes| {
+            SweepJob::new(format!("allreduce/{}mb", bytes >> 20), move || {
+                let mut cfg = SystemConfig::dgx_h100();
+                // Chunks small enough that the address hash spreads work
+                // across all four planes, large enough to bound the event
+                // count; coarse arbitration keeps events proportional to
+                // size/segment.
+                cfg.coll_chunk_bytes = 1 << 20;
+                cfg.fabric.segment_bytes = 256 * 1024;
+                cfg.deadline = sim_core::SimTime::from_ms(120_000);
+                // NCCL-style benchmarks report steady-state loop timings,
+                // so the one-shot launch noise is excluded here.
+                cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
+                cfg.gpu.dispatch_jitter = sim_core::SimDuration::ZERO;
+                cfg.gpu.compute_jitter = sim_core::SimDuration::ZERO;
+                let cost = KernelCost::new(&cfg.gpu);
+                let mut prog = Program::new();
+                let mut ids = IdAlloc::new(cfg.n_gpus);
+                nvls_all_reduce(&mut prog, &mut ids, &cfg, &cost, "ar", bytes, &[], None);
+                let n = cfg.n_gpus;
+                SystemSim::new(cfg, prog, Box::new(NvlsLogic::new(n))).run()
+            })
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("fig18", &results);
     let mut errors = Vec::new();
-    for &bytes in &sizes {
-        let mut cfg = SystemConfig::dgx_h100();
-        // Chunks small enough that the address hash spreads work across
-        // all four planes, large enough to bound the event count; coarse
-        // arbitration keeps events proportional to size/segment.
-        cfg.coll_chunk_bytes = 1 << 20;
-        cfg.fabric.segment_bytes = 256 * 1024;
-        cfg.deadline = sim_core::SimTime::from_ms(120_000);
-        // NCCL-style benchmarks report steady-state loop timings, so the
-        // one-shot launch noise is excluded here.
-        cfg.gpu.launch_skew = sim_core::SimDuration::ZERO;
-        cfg.gpu.dispatch_jitter = sim_core::SimDuration::ZERO;
-        cfg.gpu.compute_jitter = sim_core::SimDuration::ZERO;
-        let cost = KernelCost::new(&cfg.gpu);
-        let mut prog = Program::new();
-        let mut ids = IdAlloc::new(cfg.n_gpus);
-        nvls_all_reduce(&mut prog, &mut ids, &cfg, &cost, "ar", bytes, &[], None);
-        let n = cfg.n_gpus;
-        let report = SystemSim::new(cfg, prog, Box::new(NvlsLogic::new(n))).run();
-        let sim_t = report.total.as_secs_f64();
+    for (res, &bytes) in results.iter().zip(&sizes) {
+        let sim_t = res.secs();
         let ref_t = reference_time_secs(bytes);
         let sim_bw = bytes as f64 / sim_t / 1e9;
         let ref_bw = bytes as f64 / ref_t / 1e9;
         let err = ((sim_t - ref_t) / ref_t).abs() * 100.0;
         errors.push(err);
-        table.push(
-            format!("{} MB", bytes >> 20),
-            vec![sim_bw, ref_bw, err],
-        );
+        table.push(format!("{} MB", bytes >> 20), vec![sim_bw, ref_bw, err]);
     }
     let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+    table.absorb_failures(&results);
     table.push("mean_error", vec![0.0, 0.0, mean_err]);
     table.notes = format!(
         "paper reports 3.87% mean error vs real hardware; our reference is an analytic \
@@ -85,7 +90,7 @@ mod tests {
 
     #[test]
     fn simulated_nvls_tracks_reference_within_ten_percent() {
-        let t = &run(Scale::Smoke)[0];
+        let t = &run(Scale::Smoke, 1)[0];
         let (_, v) = t.rows.last().unwrap();
         assert!(
             v[2] < 10.0,

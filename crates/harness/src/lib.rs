@@ -1,7 +1,9 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation (Sec. V) on the simulated DGX-H100.
 //!
-//! One module per experiment; each exposes `run(scale) -> Table`:
+//! One module per experiment; each exposes `run(scale, jobs) -> Vec<Table>`,
+//! describing its sweep as a flat job manifest executed by the
+//! deterministic parallel runner in [`sweep`]:
 //!
 //! | Module | Paper artifact |
 //! |---|---|
@@ -20,7 +22,9 @@
 //! | [`sensitivity`] | fabric-bandwidth sweep validating the calibration story |
 //!
 //! Run everything from the CLI: `cargo run --release --bin cais-experiments -- all`.
-//! Pass `--smoke` for reduced sizes (used by the test suite).
+//! Pass `--smoke` for reduced sizes (used by the test suite) and
+//! `--jobs N` to bound the worker pool (default: available parallelism;
+//! the tables are byte-identical at every worker count).
 
 #![warn(missing_docs)]
 
@@ -37,6 +41,8 @@ pub mod fig17;
 pub mod fig18;
 pub mod runner;
 pub mod sensitivity;
+pub mod sweep;
 pub mod table2;
 
 pub use runner::{Scale, Table};
+pub use sweep::{JobResult, SweepJob};

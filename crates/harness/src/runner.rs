@@ -1,5 +1,6 @@
 //! Shared experiment plumbing: scales, strategy roster, result tables.
 
+use crate::sweep::{JobResult, SweepJob};
 use cais_baselines::{BaselineStrategy, LadmStrategy};
 use cais_core::CaisStrategy;
 use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
@@ -54,6 +55,10 @@ pub struct Table {
     pub rows: Vec<(String, Vec<f64>)>,
     /// Free-form notes (paper reference values, caveats).
     pub notes: String,
+    /// Sweep jobs that panicked instead of producing a report
+    /// ("label: panic message"). Rows derived from a failed job carry
+    /// NaN cells; the CLI exits nonzero when any table has failures.
+    pub failures: Vec<String>,
 }
 
 impl Table {
@@ -65,6 +70,18 @@ impl Table {
             columns,
             rows: Vec::new(),
             notes: String::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Records every failed job from a sweep batch so the rendered table
+    /// explains its NaN cells. Results are scanned in manifest order, so
+    /// the failure list is as deterministic as the rows.
+    pub fn absorb_failures(&mut self, results: &[JobResult]) {
+        for r in results {
+            if let Some(msg) = r.failure() {
+                self.failures.push(format!("{}: {msg}", r.label));
+            }
         }
     }
 
@@ -81,10 +98,7 @@ impl Table {
     /// Looks up a cell by row label and column name.
     pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
         let ci = self.columns.iter().position(|c| c == col)?;
-        self.rows
-            .iter()
-            .find(|(l, _)| l == row)
-            .map(|(_, v)| v[ci])
+        self.rows.iter().find(|(l, _)| l == row).map(|(_, v)| v[ci])
     }
 
     /// Renders the table as aligned text.
@@ -113,6 +127,9 @@ impl Table {
                 }
             }
             let _ = writeln!(out);
+        }
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAILED {f}");
         }
         if !self.notes.is_empty() {
             let _ = writeln!(out, "  note: {}", self.notes);
@@ -159,12 +176,7 @@ pub fn roster() -> Vec<Entry> {
 }
 
 /// Executes one strategy on a transformer layer of `model`.
-pub fn run_layer(
-    entry: &Entry,
-    model: &ModelConfig,
-    cfg: &SystemConfig,
-    pass: Pass,
-) -> ExecReport {
+pub fn run_layer(entry: &Entry, model: &ModelConfig, cfg: &SystemConfig, pass: Pass) -> ExecReport {
     let dfg = transformer_layer(model, cfg.tp(), entry.mode, pass);
     execute(entry.strategy.as_ref(), &dfg, cfg)
 }
@@ -172,6 +184,24 @@ pub fn run_layer(
 /// Executes one strategy on an arbitrary graph.
 pub fn run_graph(entry: &Entry, dfg: &Dfg, cfg: &SystemConfig) -> ExecReport {
     execute(entry.strategy.as_ref(), dfg, cfg)
+}
+
+/// Display name of roster entry `si`.
+pub fn roster_name(si: usize) -> String {
+    roster()[si].strategy.name().to_string()
+}
+
+/// A sweep job running roster entry `si` on one transformer layer of
+/// `model`. The entry (with its interior lowering state) and the graph
+/// are constructed inside the closure, on the worker thread that claims
+/// the job.
+pub fn layer_job(si: usize, model: &ModelConfig, cfg: &SystemConfig, pass: Pass) -> SweepJob {
+    let label = format!("{}/{}/{pass:?}", roster_name(si), model.name);
+    let (model, cfg) = (model.clone(), cfg.clone());
+    SweepJob::new(label, move || {
+        let entry = roster().swap_remove(si);
+        run_layer(&entry, &model, &cfg, pass)
+    })
 }
 
 #[cfg(test)]
@@ -188,6 +218,23 @@ mod tests {
         let s = t.render();
         assert!(s.contains("demo"));
         assert!(s.contains("row1"));
+    }
+
+    #[test]
+    fn failed_jobs_render_and_keep_nan_rows() {
+        use crate::sweep::{run_jobs, SweepJob};
+        let results = run_jobs(
+            vec![SweepJob::new("bad-config", || panic!("deadline exceeded"))],
+            2,
+        );
+        let mut t = Table::new("t", "demo", vec!["secs".into()]);
+        t.push("bad-config", vec![results[0].secs()]);
+        t.absorb_failures(&results);
+        assert_eq!(t.failures, vec!["bad-config: deadline exceeded"]);
+        assert!(t.rows[0].1[0].is_nan());
+        let s = t.render();
+        assert!(s.contains("FAILED bad-config: deadline exceeded"), "{s}");
+        assert!(s.contains("NaN"), "{s}");
     }
 
     #[test]
@@ -210,6 +257,6 @@ mod tests {
         let base = ModelConfig::llama_7b();
         let small = Scale::Smoke.model(&base);
         assert!(small.hidden < base.hidden);
-        assert!(small.hidden % 8 == 0, "TP divisibility preserved");
+        assert!(small.hidden.is_multiple_of(8), "TP divisibility preserved");
     }
 }

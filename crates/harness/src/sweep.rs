@@ -1,0 +1,258 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every figure module describes its experiment as a flat manifest of
+//! [`SweepJob`]s — one independent simulation each — and hands it to
+//! [`run_jobs`], which executes the manifest on a pool of
+//! `std::thread::scope` workers. Three properties make the parallelism
+//! safe and invisible in the output:
+//!
+//! * **Thread confinement.** A job closure owns everything it needs
+//!   (model, config, strategy constructor) and builds its own
+//!   [`SystemSim`](cais_engine::SystemSim) on the worker thread, so
+//!   interior mutability inside strategies (e.g. `CaisStrategy`'s
+//!   lowering cache) never crosses threads.
+//! * **Panic isolation.** Each job runs under
+//!   [`std::panic::catch_unwind`]; a diverging simulation (deadlock
+//!   panic, deadline overrun) becomes a failed result carrying the
+//!   panic message instead of aborting the whole binary.
+//! * **Ordered assembly.** Results are stored by manifest index and
+//!   returned in manifest order, so the assembled tables are
+//!   byte-identical regardless of the worker count.
+//!
+//! Wall-clock accounting is attached per job ([`JobResult::wall`]) and
+//! summarized per figure by [`log_timing`] on stderr, keeping stdout
+//! (the tables) bit-stable across `--jobs` settings.
+
+use cais_engine::ExecReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One independent simulation in a sweep manifest.
+pub struct SweepJob {
+    /// Human-readable identity ("mega-gpt-4b/CAIS/inference", ...), used
+    /// for failed-row reporting and timing logs.
+    pub label: String,
+    run: Box<dyn FnOnce() -> ExecReport + Send>,
+}
+
+impl SweepJob {
+    /// Wraps a simulation closure. The closure must own its inputs
+    /// (clone models/configs in) and construct every stateful object —
+    /// strategy, program, `SystemSim` — inside itself so the whole
+    /// simulation is confined to the worker thread that claims the job.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl FnOnce() -> ExecReport + Send + 'static,
+    ) -> SweepJob {
+        SweepJob {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one [`SweepJob`].
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's manifest label.
+    pub label: String,
+    /// The report, or the panic message if the simulation diverged.
+    pub outcome: Result<ExecReport, String>,
+    /// Wall-clock time the job spent on its worker thread.
+    pub wall: Duration,
+}
+
+impl JobResult {
+    /// Simulated end-to-end seconds, or `NaN` for a failed job (NaN
+    /// propagates through speedup/geomean arithmetic, so downstream
+    /// rows derived from a failed job surface as NaN instead of lying).
+    pub fn secs(&self) -> f64 {
+        self.outcome
+            .as_ref()
+            .map(|r| r.total.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    }
+
+    /// The report, if the job succeeded.
+    pub fn report(&self) -> Option<&ExecReport> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The failure message, if the job panicked.
+    pub fn failure(&self) -> Option<&str> {
+        self.outcome.as_ref().err().map(String::as_str)
+    }
+}
+
+/// Default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked (non-string payload)".to_string()
+    }
+}
+
+/// Executes `jobs` across `workers` threads and returns the results in
+/// manifest order.
+///
+/// Work is claimed dynamically (an atomic cursor over the manifest) so
+/// long and short simulations load-balance; each result lands in its
+/// manifest slot, which is what keeps the output order — and therefore
+/// the rendered tables — independent of scheduling. A panicking job is
+/// captured as `Err(message)` and the remaining jobs keep running.
+pub fn run_jobs(jobs: Vec<SweepJob>, workers: usize) -> Vec<JobResult> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let slots: Vec<Mutex<Option<SweepJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let SweepJob { label, run } = job;
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(run)).map_err(panic_message);
+                let wall = t0.elapsed();
+                *results[i].lock().expect("result slot poisoned") = Some(JobResult {
+                    label,
+                    outcome,
+                    wall,
+                });
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran to a result")
+        })
+        .collect()
+}
+
+/// Per-figure wall-clock accounting on stderr: job count, failures,
+/// cumulative per-job wall time (the serial-equivalent cost) and the
+/// slowest job. Stderr so the stdout tables stay byte-identical across
+/// `--jobs` settings.
+pub fn log_timing(figure: &str, results: &[JobResult]) {
+    if results.is_empty() {
+        return;
+    }
+    let total: Duration = results.iter().map(|r| r.wall).sum();
+    let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+    let slowest = results
+        .iter()
+        .max_by_key(|r| r.wall)
+        .expect("non-empty results");
+    eprintln!(
+        "[{figure}: {} jobs, {failures} failed, {:.2}s serial-equivalent, slowest {:.2}s ({})]",
+        results.len(),
+        total.as_secs_f64(),
+        slowest.wall.as_secs_f64(),
+        slowest.label,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cais_core::CaisStrategy;
+    use cais_engine::{strategy::execute, SystemConfig};
+    use llm_workload::{sublayer, ModelConfig, SubLayer};
+
+    fn tiny_report() -> ExecReport {
+        let model = ModelConfig {
+            hidden: 512,
+            ffn_hidden: 1024,
+            heads: 8,
+            seq_len: 256,
+            batch: 1,
+            ..ModelConfig::llama_7b()
+        };
+        let cfg = SystemConfig::small_test();
+        let dfg = sublayer(&model, cfg.tp(), SubLayer::L1);
+        execute(&CaisStrategy::full(), &dfg, &cfg)
+    }
+
+    #[test]
+    fn results_come_back_in_manifest_order() {
+        let jobs: Vec<SweepJob> = (0..6)
+            .map(|i| SweepJob::new(format!("job{i}"), tiny_report))
+            .collect();
+        let results = run_jobs(jobs, 4);
+        let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["job0", "job1", "job2", "job3", "job4", "job5"]);
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mk = || {
+            (0..4)
+                .map(|i| SweepJob::new(format!("j{i}"), tiny_report))
+                .collect::<Vec<_>>()
+        };
+        let serial = run_jobs(mk(), 1);
+        let parallel = run_jobs(mk(), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.secs(), b.secs(), "{}", a.label);
+            let (ra, rb) = (a.report().unwrap(), b.report().unwrap());
+            assert_eq!(ra.logic_stats, rb.logic_stats);
+            assert_eq!(ra.deduped_fetches, rb.deduped_fetches);
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_a_failed_result() {
+        let jobs = vec![
+            SweepJob::new("ok", tiny_report),
+            SweepJob::new("boom", || panic!("synthetic divergence")),
+            SweepJob::new("ok2", tiny_report),
+        ];
+        let results = run_jobs(jobs, 2);
+        assert!(results[0].outcome.is_ok());
+        assert_eq!(results[1].failure(), Some("synthetic divergence"));
+        assert!(results[1].secs().is_nan());
+        assert!(results[2].outcome.is_ok(), "later jobs keep running");
+    }
+
+    #[test]
+    fn empty_manifest_is_fine() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+        log_timing("noop", &[]);
+    }
+}

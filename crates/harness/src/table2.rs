@@ -6,14 +6,15 @@
 //! SMs): 1.43x vs. 1.40x.
 
 use crate::runner::{Scale, Table};
+use crate::sweep::{self, SweepJob};
 use cais_baselines::BaselineStrategy;
 use cais_core::CaisStrategy;
 use cais_engine::strategy::execute;
 use gpu_sim::GpuConfig;
 use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
 
-/// Runs the experiment.
-pub fn run(scale: Scale) -> Vec<Table> {
+/// Runs the experiment: two sweep jobs (TP-NVLS, CAIS) per setup.
+pub fn run(scale: Scale, jobs: usize) -> Vec<Table> {
     let mut table = Table::new(
         "table2",
         "scaled-down validation: CAIS speedup over TP-NVLS",
@@ -21,13 +22,23 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let setups: Vec<(&str, ModelConfig, GpuConfig)> = match scale {
         Scale::Paper => vec![
-            ("full (8192, 132 SM)", ModelConfig::llama_full_scale(), GpuConfig::h100_full()),
-            ("half (4096, 66 SM)", ModelConfig::llama_7b(), GpuConfig::h100_half()),
+            (
+                "full (8192, 132 SM)",
+                ModelConfig::llama_full_scale(),
+                GpuConfig::h100_full(),
+            ),
+            (
+                "half (4096, 66 SM)",
+                ModelConfig::llama_7b(),
+                GpuConfig::h100_half(),
+            ),
         ],
         Scale::Smoke => vec![
             (
                 "full (2048, 132 SM)",
-                Scale::Smoke.model(&ModelConfig::llama_7b()).scale_hidden(2, 1),
+                Scale::Smoke
+                    .model(&ModelConfig::llama_7b())
+                    .scale_hidden(2, 1),
                 GpuConfig::h100_full(),
             ),
             (
@@ -37,15 +48,35 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ),
         ],
     };
-    for (label, model, gpu) in setups {
-        let mut cfg = scale.system();
-        cfg.gpu = gpu;
-        let tp_dfg = transformer_layer(&model, cfg.tp(), TpMode::BasicTp, Pass::Forward);
-        let cais_dfg = transformer_layer(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward);
-        let tp = execute(&BaselineStrategy::tp_nvls(), &tp_dfg, &cfg);
-        let cais = execute(&CaisStrategy::full(), &cais_dfg, &cfg);
-        table.push(label, vec![cais.speedup_over(&tp)]);
+    let manifest: Vec<SweepJob> = setups
+        .iter()
+        .flat_map(|(label, model, gpu)| {
+            let mk = |cais: bool| {
+                let (scale, model, gpu) = (scale, model.clone(), gpu.clone());
+                let tag = if cais { "CAIS" } else { "TP-NVLS" };
+                SweepJob::new(format!("{label}/{tag}"), move || {
+                    let mut cfg = scale.system();
+                    cfg.gpu = gpu;
+                    if cais {
+                        let dfg =
+                            transformer_layer(&model, cfg.tp(), TpMode::SeqPar, Pass::Forward);
+                        execute(&CaisStrategy::full(), &dfg, &cfg)
+                    } else {
+                        let dfg =
+                            transformer_layer(&model, cfg.tp(), TpMode::BasicTp, Pass::Forward);
+                        execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg)
+                    }
+                })
+            };
+            [mk(false), mk(true)]
+        })
+        .collect();
+    let results = sweep::run_jobs(manifest, jobs);
+    sweep::log_timing("table2", &results);
+    for (pair, (label, _, _)) in results.chunks(2).zip(&setups) {
+        table.push(*label, vec![pair[0].secs() / pair[1].secs()]);
     }
+    table.absorb_failures(&results);
     table.notes = "paper: 1.43 (full) vs 1.40 (half) — the half-scale setup preserves the \
                    speedup ordering and magnitude"
         .into();
@@ -58,7 +89,7 @@ mod tests {
 
     #[test]
     fn half_scale_preserves_speedup_magnitude() {
-        let t = &run(Scale::Smoke)[0];
+        let t = &run(Scale::Smoke, 1)[0];
         let full = t.rows[0].1[0];
         let half = t.rows[1].1[0];
         assert!(full > 1.0 && half > 1.0, "CAIS must win in both setups");

@@ -113,7 +113,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} depends on nonexistent node {dep}")
             }
             GraphError::ForwardDep { node, dep } => {
-                write!(f, "node {node} depends on later node {dep} (not topological)")
+                write!(
+                    f,
+                    "node {node} depends on later node {dep} (not topological)"
+                )
             }
         }
     }

@@ -107,7 +107,7 @@ impl ModelConfig {
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn head_dim(&self) -> u64 {
         assert!(
-            self.hidden % self.heads == 0,
+            self.hidden.is_multiple_of(self.heads),
             "hidden {} not divisible by heads {}",
             self.hidden,
             self.heads

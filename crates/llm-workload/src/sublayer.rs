@@ -52,7 +52,7 @@ impl SubLayer {
 /// Panics if the model dimensions are not divisible by `p`.
 pub fn sublayer(cfg: &ModelConfig, p: u64, which: SubLayer) -> Dfg {
     assert!(
-        cfg.hidden % p == 0 && cfg.ffn_hidden % p == 0,
+        cfg.hidden.is_multiple_of(p) && cfg.ffn_hidden.is_multiple_of(p),
         "model dims must divide the TP degree {p}"
     );
     let t = cfg.tokens();
@@ -66,13 +66,31 @@ pub fn sublayer(cfg: &ModelConfig, p: u64, which: SubLayer) -> Dfg {
         // ffn.fc2: [T,F/p]x[F/p,H]; next layer qkv: [T,H]x[H,3H/p]
         SubLayer::L2 => ("ffn.fc2", (t, h, f / p), "attn.qkv", (t, 3 * h / p, h)),
         // bwd fc1 dX: [T,F/p]x[F/p,H] partial; bwd proj dX: [T,H]x[H,H/p]
-        SubLayer::L3 => ("bwd.ffn.fc1_dx", (t, h, f / p), "bwd.attn.proj_dx", (t, h / p, h)),
+        SubLayer::L3 => (
+            "bwd.ffn.fc1_dx",
+            (t, h, f / p),
+            "bwd.attn.proj_dx",
+            (t, h / p, h),
+        ),
         // bwd qkv dX: [T,3H/p]x[3H/p,H] partial; bwd fc2 dX: [T,H]x[H,F/p]
-        SubLayer::L4 => ("bwd.attn.qkv_dx", (t, h, 3 * h / p), "bwd.ffn.fc2_dx", (t, f / p, h)),
+        SubLayer::L4 => (
+            "bwd.attn.qkv_dx",
+            (t, h, 3 * h / p),
+            "bwd.ffn.fc2_dx",
+            (t, f / p, h),
+        ),
     };
 
     let mut g = Dfg::new(cfg.elem_bytes);
-    let prod = g.add(pname, NodeKind::Gemm { m: pg.0, n: pg.1, k: pg.2 }, vec![]);
+    let prod = g.add(
+        pname,
+        NodeKind::Gemm {
+            m: pg.0,
+            n: pg.1,
+            k: pg.2,
+        },
+        vec![],
+    );
     let rs = g.add(
         "rs",
         NodeKind::Collective {
@@ -99,7 +117,15 @@ pub fn sublayer(cfg: &ModelConfig, p: u64, which: SubLayer) -> Dfg {
         },
         vec![ln],
     );
-    let _cons = g.add(cname, NodeKind::Gemm { m: cg.0, n: cg.1, k: cg.2 }, vec![ag]);
+    let _cons = g.add(
+        cname,
+        NodeKind::Gemm {
+            m: cg.0,
+            n: cg.1,
+            k: cg.2,
+        },
+        vec![ag],
+    );
     debug_assert!(g.validate().is_ok());
     g
 }

@@ -41,8 +41,8 @@ fn attn_core(cfg: &ModelConfig, p: u64, backward: bool) -> NodeKind {
     // QK^T and AV are each 2*T*S*(H/p) FLOPs over the local heads.
     let mut flops = 4.0 * t as f64 * cfg.seq_len as f64 * (cfg.hidden / p) as f64;
     // Score matrix traffic: B * heads/p * S^2 elements, written + read.
-    let mut bytes = 2 * cfg.batch * (cfg.heads / p).max(1) * cfg.seq_len * cfg.seq_len
-        * cfg.elem_bytes;
+    let mut bytes =
+        2 * cfg.batch * (cfg.heads / p).max(1) * cfg.seq_len * cfg.seq_len * cfg.elem_bytes;
     if backward {
         flops *= 2.0;
         bytes *= 2;
@@ -62,7 +62,9 @@ fn attn_core(cfg: &ModelConfig, p: u64, backward: bool) -> NodeKind {
 pub fn transformer_layer(cfg: &ModelConfig, p: u64, mode: TpMode, pass: Pass) -> Dfg {
     assert!(p >= 1, "need at least one GPU");
     assert!(
-        cfg.hidden % p == 0 && cfg.ffn_hidden % p == 0 && cfg.heads % p == 0,
+        cfg.hidden.is_multiple_of(p)
+            && cfg.ffn_hidden.is_multiple_of(p)
+            && cfg.heads.is_multiple_of(p),
         "model dims must divide the TP degree {p}"
     );
     let mut g = Dfg::new(cfg.elem_bytes);
@@ -85,13 +87,7 @@ pub fn transformer_layer(cfg: &ModelConfig, p: u64, mode: TpMode, pass: Pass) ->
 /// # Panics
 ///
 /// Panics if `layers == 0` or the model dims don't divide `p`.
-pub fn transformer_stack(
-    cfg: &ModelConfig,
-    p: u64,
-    mode: TpMode,
-    pass: Pass,
-    layers: u64,
-) -> Dfg {
+pub fn transformer_stack(cfg: &ModelConfig, p: u64, mode: TpMode, pass: Pass, layers: u64) -> Dfg {
     assert!(layers > 0, "need at least one layer");
     let mut g = transformer_layer(cfg, p, mode, pass);
     for _ in 1..layers {
@@ -157,7 +153,10 @@ fn build_forward(
         TpMode::SeqPar => {
             let ln1 = g.add(
                 "ln1",
-                NodeKind::LayerNorm { rows: t / p, cols: h },
+                NodeKind::LayerNorm {
+                    rows: t / p,
+                    cols: h,
+                },
                 deps(input),
             );
             let ag1 = g.add("attn.ag", coll(CollKind::AllGather, t, h), vec![ln1]);
@@ -176,7 +175,10 @@ fn build_forward(
             );
             let ln2 = g.add(
                 "ln2",
-                NodeKind::LayerNorm { rows: t / p, cols: h },
+                NodeKind::LayerNorm {
+                    rows: t / p,
+                    cols: h,
+                },
                 vec![add1],
             );
             let ag2 = g.add("ffn.ag", coll(CollKind::AllGather, t, h), vec![ln2]);
@@ -234,11 +236,7 @@ fn build_backward(
     // Under SP, the incoming sharded gradient must be gathered before the
     // row-parallel fc2 backward (ḡ = AllGather in backward).
     let dfc2_in = match mode {
-        TpMode::SeqPar => g.add(
-            "bwd.ffn.ag",
-            coll(CollKind::AllGather, t, h),
-            vec![dadd2],
-        ),
+        TpMode::SeqPar => g.add("bwd.ffn.ag", coll(CollKind::AllGather, t, h), vec![dadd2]),
         TpMode::BasicTp => dadd2,
     };
     let dfc2_dx = g.add("bwd.ffn.fc2_dx", gemm(t, f / p, h), vec![dfc2_in]);
@@ -257,11 +255,7 @@ fn build_backward(
     // Column-parallel fc1 backward produces a partial full gradient:
     // f̄ = AllReduce (basic) or g = ReduceScatter (SP).
     let dffn_out = match mode {
-        TpMode::BasicTp => g.add(
-            "bwd.ffn.ar",
-            coll(CollKind::AllReduce, t, h),
-            vec![dfc1_dx],
-        ),
+        TpMode::BasicTp => g.add("bwd.ffn.ar", coll(CollKind::AllReduce, t, h), vec![dfc1_dx]),
         TpMode::SeqPar => g.add(
             "bwd.ffn.rs",
             coll(CollKind::ReduceScatter, t, h),
@@ -279,11 +273,7 @@ fn build_backward(
 
     // ---- Attention backward ----
     let dattn_in = match mode {
-        TpMode::SeqPar => g.add(
-            "bwd.attn.ag",
-            coll(CollKind::AllGather, t, h),
-            vec![dln2],
-        ),
+        TpMode::SeqPar => g.add("bwd.attn.ag", coll(CollKind::AllGather, t, h), vec![dln2]),
         TpMode::BasicTp => dln2,
     };
     let dproj_dx = g.add("bwd.attn.proj_dx", gemm(t, h / p, h), vec![dattn_in]);

@@ -546,7 +546,13 @@ mod tests {
     #[should_panic(expected = "cannot inject into the past")]
     fn inject_in_past_panics() {
         let mut f = Fabric::new(cfg2(), PureRouter);
-        f.inject(SimTime::from_ns(100), GpuId(0), GpuId(1), PlaneId(0), blob(1));
+        f.inject(
+            SimTime::from_ns(100),
+            GpuId(0),
+            GpuId(1),
+            PlaneId(0),
+            blob(1),
+        );
         f.run_to_completion();
         f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(1));
     }

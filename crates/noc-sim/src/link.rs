@@ -125,7 +125,9 @@ impl<P> Link<P> {
     /// Returns `None` when all VCs are empty.
     pub fn serve(&mut self, now: SimTime) -> Option<ServeOutcome<P>> {
         let n = self.vcs.len();
-        let vc = (0..n).map(|i| (self.rr + i) % n).find(|&i| !self.vcs[i].is_empty())?;
+        let vc = (0..n)
+            .map(|i| (self.rr + i) % n)
+            .find(|&i| !self.vcs[i].is_empty())?;
         self.rr = (vc + 1) % n;
 
         let head = self.vcs[vc].front_mut().expect("vc checked non-empty");

@@ -82,7 +82,11 @@ impl FabricReport {
     /// for the rest of the run). Returns an empty vec when no link recorded
     /// a series.
     pub fn mean_series(&self) -> Vec<f64> {
-        let series: Vec<&Vec<f64>> = self.usages.iter().filter_map(|u| u.series.as_ref()).collect();
+        let series: Vec<&Vec<f64>> = self
+            .usages
+            .iter()
+            .filter_map(|u| u.series.as_ref())
+            .collect();
         if series.is_empty() {
             return Vec::new();
         }

@@ -103,14 +103,11 @@ impl SwitchLogic<Msg> for NvlsLogic {
                 cais: false,
                 ..
             } => {
-                let session = self
-                    .reduce_sessions
-                    .entry(addr)
-                    .or_insert(ReduceSession {
-                        contribs: 0,
-                        bytes,
-                        tile,
-                    });
+                let session = self.reduce_sessions.entry(addr).or_insert(ReduceSession {
+                    contribs: 0,
+                    bytes,
+                    tile,
+                });
                 session.contribs += contribs;
                 if session.contribs >= self.n_gpus {
                     let session = self.reduce_sessions.remove(&addr).expect("session exists");
@@ -240,9 +237,13 @@ mod tests {
         let mut dsts: Vec<u16> = d.iter().map(|x| x.dst.0).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![1, 2, 3]);
-        assert!(d
-            .iter()
-            .all(|x| matches!(x.payload, Msg::Write { tile: Some(TileId(7)), .. })));
+        assert!(d.iter().all(|x| matches!(
+            x.payload,
+            Msg::Write {
+                tile: Some(TileId(7)),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -271,7 +272,11 @@ mod tests {
         // The reduced result is multicast to all four GPUs.
         assert_eq!(d.len(), 4);
         assert_eq!(f.logic().reductions(), 1);
-        assert!(f.logic().stats().iter().any(|(k, v)| k == "nvls.open_sessions" && *v == 0.0));
+        assert!(f
+            .logic()
+            .stats()
+            .iter()
+            .any(|(k, v)| k == "nvls.open_sessions" && *v == 0.0));
     }
 
     #[test]
@@ -298,7 +303,13 @@ mod tests {
         let fetches = f.drain_deliveries();
         assert_eq!(fetches.len(), 3);
         for fetch in &fetches {
-            let Msg::FetchReq { addr, bytes, session, .. } = fetch.payload else {
+            let Msg::FetchReq {
+                addr,
+                bytes,
+                session,
+                ..
+            } = fetch.payload
+            else {
                 panic!("expected FetchReq, got {:?}", fetch.payload);
             };
             f.inject(
@@ -320,7 +331,11 @@ mod tests {
         assert_eq!(d[0].dst, GpuId(2));
         assert!(matches!(
             d[0].payload,
-            Msg::LoadResp { tb: TbId(9), tile: Some(TileId(3)), .. }
+            Msg::LoadResp {
+                tb: TbId(9),
+                tile: Some(TileId(3)),
+                ..
+            }
         ));
     }
 

@@ -271,10 +271,7 @@ pub fn ring_reduce_scatter(
             prog,
             ids,
             t,
-            vec![
-                Phase::Compute(add_time(cost, len)),
-                Phase::SignalTile(out),
-            ],
+            vec![Phase::Compute(add_time(cost, len)), Phase::SignalTile(out)],
             deps,
         );
         let mut arr: Vec<Option<TileId>> = vec![None; p];
@@ -396,8 +393,7 @@ mod tests {
         let total: u64 = chunks.iter().map(|(_, _, l)| l).sum();
         assert_eq!(total, 1_000_000);
         // All 8 shards present.
-        let shards: std::collections::HashSet<usize> =
-            chunks.iter().map(|&(s, _, _)| s).collect();
+        let shards: std::collections::HashSet<usize> = chunks.iter().map(|&(s, _, _)| s).collect();
         assert_eq!(shards.len(), 8);
     }
 

@@ -100,6 +100,9 @@ impl Addr {
     /// # Panics
     ///
     /// Panics if advancing crosses out of the home GPU's address window.
+    // Not `std::ops::Add`: the boundary assert makes this partial, and
+    // operator syntax would hide that.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> Addr {
         let a = Addr(self.0 + bytes);
         assert_eq!(

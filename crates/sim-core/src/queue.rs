@@ -138,7 +138,10 @@ mod tests {
         q.push(SimTime::from_ns(10), 'a');
         q.push(SimTime::from_ns(20), 'b');
         assert_eq!(q.pop_due(SimTime::from_ns(5)), None);
-        assert_eq!(q.pop_due(SimTime::from_ns(10)), Some((SimTime::from_ns(10), 'a')));
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(10)),
+            Some((SimTime::from_ns(10), 'a'))
+        );
         assert_eq!(q.pop_due(SimTime::from_ns(15)), None);
         assert_eq!(q.len(), 1);
     }

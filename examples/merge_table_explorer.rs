@@ -21,7 +21,10 @@ fn main() {
         ..ModelConfig::llama_7b()
     };
     let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
-    println!("sub-layer L2 on a scaled LLaMA config (hidden {})\n", model.hidden);
+    println!(
+        "sub-layer L2 on a scaled LLaMA config (hidden {})\n",
+        model.hidden
+    );
 
     println!(
         "{:>9} {:>14} {:>12} {:>10} {:>10} {:>10}",

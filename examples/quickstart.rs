@@ -58,5 +58,8 @@ fn main() {
         println!("  request spread  {spread} (TB coordination at work)");
     }
 
-    println!("\n=> CAIS speedup over SP-NVLS: {:.2}x", cais.speedup_over(&nvls));
+    println!(
+        "\n=> CAIS speedup over SP-NVLS: {:.2}x",
+        cais.speedup_over(&nvls)
+    );
 }

@@ -5,6 +5,7 @@ use cais::baselines::BaselineStrategy;
 use cais::core::CaisStrategy;
 use cais::engine::{strategy::execute, Strategy, SystemConfig};
 use cais::llm_workload::{sublayer, ModelConfig, SubLayer};
+use cais::sim_core::SimDuration;
 
 fn small_model() -> ModelConfig {
     ModelConfig {
@@ -30,7 +31,8 @@ fn run_twice(strategy: impl Fn() -> Box<dyn Strategy>) {
     let a = execute(strategy().as_ref(), &dfg, &cfg());
     let b = execute(strategy().as_ref(), &dfg, &cfg());
     assert_eq!(
-        a.total, b.total,
+        a.total,
+        b.total,
         "{}: totals must be bit-identical across runs",
         strategy().name()
     );
@@ -64,6 +66,45 @@ fn t3_is_deterministic() {
     run_twice(|| Box::new(BaselineStrategy::t3_nvls()));
 }
 
+/// The merge-table *eviction* machinery (LRU victim selection, the
+/// timeout sweep walking every port, re-arm scheduling) must be as
+/// host-independent as the happy path. A tiny table plus a tight
+/// timeout on a multi-plane system forces both eviction kinds to fire;
+/// the full stat vector (which includes every eviction counter) must
+/// come back bit-identical.
+#[test]
+fn merge_table_eviction_paths_are_deterministic() {
+    let strategy = || {
+        // Uncoordinated and unthrottled so requests burst, on a table
+        // holding only a handful of packet-sized sessions per port,
+        // with a timeout tight enough for the sweep to fire mid-run.
+        CaisStrategy::full()
+            .with_coordination("w/o-coord", cais::core::CoordinationOpts::none())
+            .with_credits(None)
+            .with_merge_table(Some(64 * 1024))
+            .with_timeout(SimDuration::from_us(2))
+    };
+    let dfg = sublayer(&small_model(), 4, SubLayer::L2);
+    let a = execute(&strategy(), &dfg, &cfg());
+    let b = execute(&strategy(), &dfg, &cfg());
+    assert_eq!(a.total, b.total, "totals must be bit-identical");
+    assert_eq!(a.gpu_occupancy, b.gpu_occupancy);
+    assert_eq!(
+        a.logic_stats, b.logic_stats,
+        "MergeStats must be bit-identical"
+    );
+    assert_eq!(a.deduped_fetches, b.deduped_fetches);
+    assert_eq!(a.mean_request_spread, b.mean_request_spread);
+    // The point of the config: both eviction paths actually ran.
+    let stat = |key: &str| a.stat(key).unwrap_or(0.0);
+    assert!(
+        stat("cais.evictions_lru") + stat("cais.evictions_timeout") > 0.0,
+        "config must exercise the eviction machinery (lru={}, timeout={})",
+        stat("cais.evictions_lru"),
+        stat("cais.evictions_timeout"),
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let dfg = sublayer(&small_model(), 4, SubLayer::L1);
@@ -71,8 +112,5 @@ fn different_seeds_differ() {
     let mut cfg2 = cfg();
     cfg2.seed ^= 0xDEAD_BEEF;
     let b = execute(&CaisStrategy::full(), &dfg, &cfg2);
-    assert_ne!(
-        a.total, b.total,
-        "jitter must actually depend on the seed"
-    );
+    assert_ne!(a.total, b.total, "jitter must actually depend on the seed");
 }

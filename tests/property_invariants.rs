@@ -1,12 +1,18 @@
 //! Property-based invariants across the simulator layers.
+//!
+//! These were originally `proptest` properties; they are now driven by
+//! the repo's own deterministic [`JitterRng`] so the workspace builds
+//! with zero external dependencies and every CI run replays the exact
+//! same case set. Each test sweeps a fixed number of seeded cases and
+//! asserts the invariant on every one.
 
 use cais::core::{merge::Waiter, MergeConfig, MergeUnit};
 use cais::engine::{IdAlloc, Program, SystemConfig, SystemSim};
 use cais::gpu_sim::KernelCost;
 use cais::noc_sim::{Direction, Fabric, FabricConfig, FlowClass, Payload, PureRouter};
 use cais::nvls::{ring_all_gather, ring_all_reduce, ring_reduce_scatter};
+use cais::sim_core::rng::JitterRng;
 use cais::sim_core::{Addr, EventQueue, GpuId, PlaneId, SimDuration, SimTime, TbId};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Blob(u64);
@@ -19,69 +25,75 @@ impl Payload for Blob {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The event queue is a total order: pops are non-decreasing in time
-    /// and FIFO within a timestamp.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+/// The event queue is a total order: pops are non-decreasing in time
+/// and FIFO within a timestamp.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = JitterRng::seed_from(0xE7E4);
+    for _case in 0..64 {
+        let n = 1 + rng.next_below(199) as usize;
         let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.push(SimTime::from_ns(*t), i);
+        for i in 0..n {
+            q.push(SimTime::from_ns(rng.next_below(1000)), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt);
                 if t == lt {
-                    prop_assert!(i > li, "FIFO violated within a timestamp");
+                    assert!(i > li, "FIFO violated within a timestamp");
                 }
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Byte conservation: every payload byte injected into the fabric is
-    /// delivered; up-link and down-link wire bytes match exactly for
-    /// point-to-point routing.
-    #[test]
-    fn fabric_conserves_bytes(
-        sizes in proptest::collection::vec(1u64..100_000, 1..50),
-        n_gpus in 2usize..9,
-    ) {
+/// Byte conservation: every payload byte injected into the fabric is
+/// delivered; up-link and down-link wire bytes match exactly for
+/// point-to-point routing.
+#[test]
+fn fabric_conserves_bytes() {
+    let mut rng = JitterRng::seed_from(0xFAB);
+    for _case in 0..64 {
+        let n_gpus = 2 + rng.next_below(7) as usize;
+        let n_msgs = 1 + rng.next_below(49) as usize;
         let mut f = Fabric::new(FabricConfig::default_for(n_gpus, 2), PureRouter);
         let mut injected = 0u64;
-        for (i, s) in sizes.iter().enumerate() {
+        for i in 0..n_msgs {
+            let s = 1 + rng.next_below(99_999);
             let src = GpuId((i % n_gpus) as u16);
             let dst = GpuId(((i + 1) % n_gpus) as u16);
-            f.inject(SimTime::from_ns(i as u64), src, dst, PlaneId((i % 2) as u16), Blob(*s));
+            f.inject(
+                SimTime::from_ns(i as u64),
+                src,
+                dst,
+                PlaneId((i % 2) as u16),
+                Blob(s),
+            );
             injected += s;
         }
         f.run_to_completion();
         let delivered: u64 = f.drain_deliveries().iter().map(|d| d.payload.0).sum();
-        prop_assert_eq!(delivered, injected);
+        assert_eq!(delivered, injected);
         let report = f.report(SimDuration::from_ms(10));
-        prop_assert_eq!(
+        assert_eq!(
             report.bytes_dir(Direction::Up),
             report.bytes_dir(Direction::Down)
         );
     }
+}
 
-    /// Merge unit: with an unbounded table, N-1 staggered requesters for
-    /// one address produce exactly one forwarded fetch and N-1 responses,
-    /// in any arrival order.
-    #[test]
-    fn merge_unit_serves_every_requester_once(
-        n_gpus in 3usize..9,
-        mut arrival_order in proptest::collection::vec(0u64..10_000, 2..8),
-        resp_at in 0u64..12_000,
-    ) {
-        arrival_order.truncate(n_gpus - 1);
-        if arrival_order.len() < n_gpus - 1 {
-            let missing = n_gpus - 1 - arrival_order.len();
-            arrival_order.extend((0..missing as u64).map(|i| 500 * i));
-        }
+/// Merge unit: with an unbounded table, N-1 staggered requesters for
+/// one address produce exactly one forwarded fetch and N-1 responses,
+/// in any arrival order.
+#[test]
+fn merge_unit_serves_every_requester_once() {
+    let mut rng = JitterRng::seed_from(0x4E46);
+    for _case in 0..64 {
+        let n_gpus = 3 + rng.next_below(6) as usize;
+        let arrival_order: Vec<u64> = (0..n_gpus - 1).map(|_| rng.next_below(10_000)).collect();
+        let resp_at = rng.next_below(12_000);
         let mut m = MergeUnit::new(MergeConfig {
             n_gpus,
             table_bytes_per_port: None,
@@ -102,7 +114,10 @@ proptest! {
             if who == u16::MAX {
                 // A response only arrives if the fetch was forwarded
                 // (first request seen).
-                if out.iter().any(|a| matches!(a, cais::core::merge::MergeAction::ForwardLoad { .. })) {
+                if out
+                    .iter()
+                    .any(|a| matches!(a, cais::core::merge::MergeAction::ForwardLoad { .. }))
+                {
                     m.on_load_resp(SimTime::from_ns(t), PlaneId(0), addr, 1024, &mut out);
                     responded = true;
                 }
@@ -112,7 +127,11 @@ proptest! {
                     PlaneId(0),
                     addr,
                     1024,
-                    Waiter { requester: GpuId(who), tb: TbId(who as u64), tile: None },
+                    Waiter {
+                        requester: GpuId(who),
+                        tb: TbId(who as u64),
+                        tile: None,
+                    },
                     &mut out,
                 );
             }
@@ -128,19 +147,21 @@ proptest! {
             .iter()
             .filter(|a| matches!(a, cais::core::merge::MergeAction::RespondLoad { .. }))
             .count();
-        prop_assert_eq!(forwards, 1, "exactly one fetch per address");
-        prop_assert_eq!(responses, n_gpus - 1, "every requester answered once");
-        prop_assert!(!m.has_entries(), "session released after completion");
+        assert_eq!(forwards, 1, "exactly one fetch per address");
+        assert_eq!(responses, n_gpus - 1, "every requester answered once");
+        assert!(!m.has_entries(), "session released after completion");
     }
+}
 
-    /// Ring collectives move exactly the algorithmic payload volume
-    /// (modulo per-packet headers) for arbitrary sizes and GPU counts.
-    #[test]
-    fn ring_collectives_move_algorithmic_volume(
-        kb in 64u64..512,
-        n_gpus in 2usize..7,
-        which in 0usize..3,
-    ) {
+/// Ring collectives move exactly the algorithmic payload volume
+/// (modulo per-packet headers) for arbitrary sizes and GPU counts.
+#[test]
+fn ring_collectives_move_algorithmic_volume() {
+    let mut rng = JitterRng::seed_from(0x41D6);
+    for case in 0..12 {
+        let kb = 64 + rng.next_below(448);
+        let n_gpus = 2 + rng.next_below(5) as usize;
+        let which = case % 3;
         let bytes = kb * 1024 * n_gpus as u64;
         let mut cfg = SystemConfig::dgx_h100();
         cfg.n_gpus = n_gpus;
@@ -154,14 +175,26 @@ proptest! {
         let mut prog = Program::new();
         let mut ids = IdAlloc::new(n_gpus);
         let mult = match which {
-            0 => { ring_all_gather(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None); 1 }
-            1 => { ring_reduce_scatter(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None); 1 }
-            _ => { ring_all_reduce(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None); 2 }
+            0 => {
+                ring_all_gather(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None);
+                1
+            }
+            1 => {
+                ring_reduce_scatter(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None);
+                1
+            }
+            _ => {
+                ring_all_reduce(&mut prog, &mut ids, &cfg, &cost, "x", bytes, &[], None);
+                2
+            }
         };
         let report = SystemSim::new(cfg, prog, Box::new(PureRouter)).run();
         let expect = mult * bytes / n_gpus as u64 * (n_gpus as u64 - 1) * n_gpus as u64;
         let got = report.fabric.bytes_dir(Direction::Up);
         let ratio = got as f64 / expect as f64;
-        prop_assert!((0.95..1.15).contains(&ratio), "volume off: got {} expect {}", got, expect);
+        assert!(
+            (0.95..1.15).contains(&ratio),
+            "volume off: got {got} expect {expect}"
+        );
     }
 }

@@ -4,9 +4,7 @@
 use cais::baselines::{BaselineStrategy, LadmStrategy};
 use cais::core::CaisStrategy;
 use cais::engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
-use cais::llm_workload::{
-    sublayer, transformer_layer, ModelConfig, Pass, SubLayer, TpMode,
-};
+use cais::llm_workload::{sublayer, transformer_layer, ModelConfig, Pass, SubLayer, TpMode};
 use cais::noc_sim::Direction;
 
 fn small_model() -> ModelConfig {
@@ -59,12 +57,22 @@ fn check_report(name: &str, r: &ExecReport) {
     );
     // Every kernel span is well-formed.
     for s in r.kernel_spans.values() {
-        assert!(s.end >= s.start, "{name}: kernel {} ends before start", s.name);
+        assert!(
+            s.end >= s.start,
+            "{name}: kernel {} ends before start",
+            s.name
+        );
     }
     // Fabric moved something in both directions for every strategy (all
     // our workloads are communication-bearing).
-    assert!(r.fabric.bytes_dir(Direction::Up) > 0, "{name}: no upstream traffic");
-    assert!(r.fabric.bytes_dir(Direction::Down) > 0, "{name}: no downstream traffic");
+    assert!(
+        r.fabric.bytes_dir(Direction::Up) > 0,
+        "{name}: no upstream traffic"
+    );
+    assert!(
+        r.fabric.bytes_dir(Direction::Down) > 0,
+        "{name}: no downstream traffic"
+    );
 }
 
 #[test]

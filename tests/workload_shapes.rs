@@ -63,10 +63,7 @@ fn sublayers_match_transformer_dimensions() {
             ref other => panic!("{name} is {other:?}"),
         }
     };
-    assert_eq!(
-        find_gemm(&layer, "attn.proj"),
-        find_gemm(&l1, "attn.proj")
-    );
+    assert_eq!(find_gemm(&layer, "attn.proj"), find_gemm(&l1, "attn.proj"));
     assert_eq!(find_gemm(&layer, "ffn.fc1"), find_gemm(&l1, "ffn.fc1"));
 }
 
