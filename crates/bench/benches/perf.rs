@@ -1,0 +1,117 @@
+//! End-to-end single-run performance tracking (`BENCH_sim.json`).
+//!
+//! Times one full `SystemSim` run per representative workload — the
+//! TP-NVLS baseline, CAIS, and CAIS on a larger model shape — and
+//! writes machine-readable results to `BENCH_sim.json` so successive
+//! PRs have a perf trajectory to compare against. Invoke with:
+//!
+//! ```text
+//! cargo bench -p cais-bench --bench perf            # paper-scale shapes
+//! cargo bench -p cais-bench --bench perf -- --quick # smoke shapes for CI
+//! ```
+
+use cais_baselines::BaselineStrategy;
+use cais_bench::{timeit, Scale};
+use cais_core::CaisStrategy;
+use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
+use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+use std::fmt::Write as _;
+
+struct RunResult {
+    name: &'static str,
+    wall_ms: f64,
+    min_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    queue_peak: u64,
+    sim_total_us: f64,
+}
+
+fn bench_run(
+    name: &'static str,
+    strategy: &dyn Strategy,
+    model: &ModelConfig,
+    mode: TpMode,
+    cfg: &SystemConfig,
+    iters: u32,
+) -> RunResult {
+    let dfg = transformer_layer(model, cfg.tp(), mode, Pass::Forward);
+    let mut report: Option<ExecReport> = None;
+    let stats = timeit(name, iters, || report = Some(execute(strategy, &dfg, cfg)));
+    let report = report.expect("at least one timed iteration");
+    let wall = stats.mean.as_secs_f64();
+    RunResult {
+        name,
+        wall_ms: wall * 1e3,
+        min_ms: stats.min.as_secs_f64() * 1e3,
+        events: report.events_processed,
+        events_per_sec: if wall > 0.0 {
+            report.events_processed as f64 / wall
+        } else {
+            0.0
+        },
+        queue_peak: report.queue_peak as u64,
+        sim_total_us: report.total.as_ps() as f64 / 1e6,
+    }
+}
+
+fn render_json(runs: &[RunResult]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"min_ms\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"queue_peak\": {}, \
+             \"sim_total_us\": {:.3}}}",
+            r.name, r.wall_ms, r.min_ms, r.events, r.events_per_sec, r.queue_peak, r.sim_total_us
+        );
+        let _ = writeln!(out, "{}", if i + 1 < runs.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, iters) = if quick {
+        (Scale::Smoke, 5)
+    } else {
+        (Scale::Paper, 3)
+    };
+    let cfg = scale.system();
+
+    let nvls = BaselineStrategy::tp_nvls();
+    let cais = CaisStrategy::full();
+    let runs = vec![
+        bench_run(
+            "perf/tp_nvls_mega_gpt_4b",
+            &nvls,
+            &scale.model(&ModelConfig::mega_gpt_4b()),
+            TpMode::BasicTp,
+            &cfg,
+            iters,
+        ),
+        bench_run(
+            "perf/cais_full_mega_gpt_4b",
+            &cais,
+            &scale.model(&ModelConfig::mega_gpt_4b()),
+            TpMode::SeqPar,
+            &cfg,
+            iters,
+        ),
+        bench_run(
+            "perf/cais_full_llama_7b",
+            &cais,
+            &scale.model(&ModelConfig::llama_7b()),
+            TpMode::SeqPar,
+            &cfg,
+            iters,
+        ),
+    ];
+
+    let json = render_json(&runs);
+    // Always land at the workspace root regardless of bench CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("wrote {path}:\n{json}");
+}

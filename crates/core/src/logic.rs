@@ -5,7 +5,7 @@ use crate::merge::{MergeAction, MergeConfig, MergeStats, MergeUnit, Waiter};
 use crate::sync::GroupSyncTable;
 use cais_engine::Msg;
 use noc_sim::{Packet, SwitchCtx, SwitchLogic};
-use sim_core::{GpuId, GroupId, PlaneId, SimDuration, SimTime};
+use sim_core::{FastHash, GpuId, GroupId, PlaneId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// In-switch behaviour for CAIS programs.
@@ -22,7 +22,10 @@ pub struct CaisLogic {
     sync: GroupSyncTable,
     n_gpus: usize,
     sweep_interval: SimDuration,
-    timer_armed: HashSet<PlaneId>,
+    timer_armed: HashSet<PlaneId, FastHash>,
+    /// Recycled merge-action buffer, so per-packet handling does not
+    /// allocate.
+    scratch: Vec<MergeAction>,
 }
 
 impl CaisLogic {
@@ -33,7 +36,8 @@ impl CaisLogic {
             sync: GroupSyncTable::new(n_gpus, HashMap::new()),
             n_gpus,
             sweep_interval: SimDuration::from_us(20),
-            timer_armed: HashSet::new(),
+            timer_armed: HashSet::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -48,8 +52,8 @@ impl CaisLogic {
         self.merge.stats()
     }
 
-    fn apply(&mut self, actions: Vec<MergeAction>, ctx: &mut SwitchCtx<Msg>) {
-        for action in actions {
+    fn apply(&mut self, actions: &mut Vec<MergeAction>, ctx: &mut SwitchCtx<Msg>) {
+        for action in actions.drain(..) {
             match action {
                 MergeAction::ForwardLoad {
                     waiter,
@@ -126,7 +130,7 @@ impl SwitchLogic<Msg> for CaisLogic {
                 tile,
                 cais: true,
             } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 self.merge.on_load_req(
                     now,
                     plane,
@@ -139,16 +143,18 @@ impl SwitchLogic<Msg> for CaisLogic {
                     },
                     &mut out,
                 );
-                self.apply(out, ctx);
+                self.apply(&mut out, ctx);
+                self.scratch = out;
                 self.arm_timer(now, ctx);
             }
             Msg::LoadResp { addr, bytes, .. } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 if self.merge.on_load_resp(now, plane, addr, bytes, &mut out) {
-                    self.apply(out, ctx);
+                    self.apply(&mut out, ctx);
                 } else {
                     ctx.forward(pkt);
                 }
+                self.scratch = out;
             }
             Msg::Reduce {
                 addr,
@@ -158,10 +164,11 @@ impl SwitchLogic<Msg> for CaisLogic {
                 tile,
                 cais: true,
             } => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 self.merge
                     .on_reduce(now, plane, addr, bytes, src, contribs, tile, &mut out);
-                self.apply(out, ctx);
+                self.apply(&mut out, ctx);
+                self.scratch = out;
                 self.arm_timer(now, ctx);
             }
             Msg::SyncReq { group, gpu, kind } => {
@@ -178,9 +185,10 @@ impl SwitchLogic<Msg> for CaisLogic {
     fn on_timer(&mut self, now: SimTime, key: u64, ctx: &mut SwitchCtx<Msg>) {
         let plane = PlaneId(key as u16);
         self.timer_armed.remove(&plane);
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch);
         let remain = self.merge.sweep(now, plane, &mut out);
-        self.apply(out, ctx);
+        self.apply(&mut out, ctx);
+        self.scratch = out;
         if remain && self.timer_armed.insert(plane) {
             ctx.set_timer(now + self.sweep_interval, key);
         }

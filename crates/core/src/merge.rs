@@ -8,7 +8,7 @@
 //! and `Reduction` (partial sum accumulating). LRU eviction and a
 //! timeout-based forward-progress mechanism bound the table.
 
-use sim_core::{Addr, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
+use sim_core::{Addr, FastHash, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
 use std::collections::{BTreeMap, HashMap};
 
 /// A queued load requester.
@@ -161,7 +161,7 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Port {
-    entries: HashMap<Addr, Entry>,
+    entries: HashMap<Addr, Entry, FastHash>,
     occupancy: u64,
     reduce_occ: u64,
     load_occ: u64,
@@ -170,7 +170,7 @@ struct Port {
     /// participants remain (prevents eviction-split sessions from
     /// stalling until the timeout). Metadata-only (a few bytes per
     /// address); removed once the address completes.
-    history: HashMap<Addr, u32>,
+    history: HashMap<Addr, u32, FastHash>,
 }
 
 /// The merge unit shared by all ports of all planes (state is

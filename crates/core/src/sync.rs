@@ -5,13 +5,13 @@
 //! broadcast to all GPUs. The exchange uses empty packets, so the cost is
 //! one round trip (~0.5 µs in the paper's setup).
 
-use sim_core::{GpuId, GroupId, SimDuration, SimTime};
+use sim_core::{FastHash, GpuId, GroupId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// Per-(group, kind) synchronization state.
 #[derive(Debug, Default)]
 struct SyncEntry {
-    arrived: HashSet<GpuId>,
+    arrived: HashSet<GpuId, FastHash>,
     first: Option<SimTime>,
 }
 
@@ -20,8 +20,8 @@ struct SyncEntry {
 pub struct GroupSyncTable {
     n_gpus: usize,
     /// Expected participants per group (defaults to `n_gpus`).
-    expected: HashMap<GroupId, u32>,
-    entries: HashMap<(GroupId, u8), SyncEntry>,
+    expected: HashMap<GroupId, u32, FastHash>,
+    entries: HashMap<(GroupId, u8), SyncEntry, FastHash>,
     releases: u64,
     wait_sum_ps: u128,
     wait_count: u64,
@@ -33,8 +33,8 @@ impl GroupSyncTable {
     pub fn new(n_gpus: usize, expected: HashMap<GroupId, u32>) -> GroupSyncTable {
         GroupSyncTable {
             n_gpus,
-            expected,
-            entries: HashMap::new(),
+            expected: expected.into_iter().collect(),
+            entries: HashMap::default(),
             releases: 0,
             wait_sum_ps: 0,
             wait_count: 0,

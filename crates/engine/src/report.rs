@@ -43,6 +43,11 @@ pub struct ExecReport {
     /// Spread between the first and last request observed per merged
     /// address, averaged (reported by CAIS logic; `None` otherwise).
     pub mean_request_spread: Option<SimDuration>,
+    /// Discrete events processed across all GPU queues and the fabric
+    /// queue (perf accounting; drives `BENCH_sim.json`).
+    pub events_processed: u64,
+    /// Largest pending-event count reached by any single queue.
+    pub queue_peak: usize,
 }
 
 impl ExecReport {
@@ -93,6 +98,8 @@ mod tests {
             logic_stats: vec![("merge.hits".into(), 42.0)],
             deduped_fetches: 0,
             mean_request_spread: None,
+            events_processed: 0,
+            queue_peak: 0,
         }
     }
 

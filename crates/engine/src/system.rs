@@ -6,8 +6,11 @@ use crate::program::Program;
 use crate::report::{ExecReport, KernelSpan};
 use gpu_sim::{GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
 use noc_sim::{Delivery, Fabric, SwitchLogic};
-use sim_core::{Addr, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime, TbId, TileId};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use sim_core::{
+    Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime,
+    TbId, TileId,
+};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 #[derive(Debug, Default)]
 struct TileEntry {
@@ -15,6 +18,8 @@ struct TileEntry {
     fetching: bool,
     contribs: u32,
     resume_waiters: Vec<TbId>,
+    /// TBs whose readiness counter decrements when this tile lands.
+    ready_waiters: Vec<TbId>,
 }
 
 #[derive(Debug, Default)]
@@ -34,25 +39,33 @@ pub struct SystemSim {
 
     pending_kernels: Vec<Option<crate::program::PlannedKernel>>,
     dep_remaining: Vec<usize>,
-    children: HashMap<KernelId, Vec<usize>>,
+    children: DenseMap<KernelId, Vec<usize>>,
     kernels_remaining: usize,
     kernel_spans: BTreeMap<KernelId, KernelSpan>,
 
-    tb_gpu: HashMap<TbId, GpuId>,
-    tb_blocked: HashMap<TbId, usize>,
-    tb_ready_remaining: HashMap<TbId, usize>,
-    ready_pending: HashSet<TbId>,
-    launched_tbs: HashSet<TbId>,
-    tile_ready_waiters: HashMap<(GpuId, TileId), Vec<TbId>>,
-    tiles: Vec<HashMap<TileId, TileEntry>>,
-    tile_expected: HashMap<TileId, u32>,
+    tb_gpu: DenseMap<TbId, GpuId>,
+    tb_blocked: DenseMap<TbId, usize>,
+    tb_ready_remaining: DenseMap<TbId, usize>,
+    ready_pending: DenseSet<TbId>,
+    launched_tbs: DenseSet<TbId>,
+    tiles: Vec<DenseMap<TileId, TileEntry>>,
+    tile_expected: DenseMap<TileId, u32>,
 
-    preaccess_blocked: HashMap<(GpuId, GroupId), Vec<TbId>>,
+    /// Pre-access-blocked TBs, flat-indexed `gpu * n_groups + group`.
+    preaccess_blocked: Vec<Vec<TbId>>,
+    n_groups: usize,
 
-    throttle: Vec<Vec<ThrottleState>>,
-    inflight_cais_loads: HashSet<(GpuId, Addr)>,
+    /// Per-plane CAIS credit state, flat-indexed `gpu * n_planes + plane`.
+    throttle: Vec<ThrottleState>,
+    inflight_cais_loads: HashSet<(GpuId, Addr), FastHash>,
 
     deduped_fetches: u64,
+
+    /// Recycled drain buffers: effects/deliveries are swapped out of the
+    /// producers into these instead of `mem::take`-ing a fresh `Vec`
+    /// every cycle of the effect fixpoint.
+    scratch_effects: Vec<(SimTime, GpuEffect)>,
+    scratch_deliveries: Vec<Delivery<Msg>>,
 }
 
 impl std::fmt::Debug for SystemSim {
@@ -86,61 +99,86 @@ impl SystemSim {
             .collect();
         let fabric = Fabric::new(cfg.fabric_config(), logic);
 
-        let mut tb_gpu = HashMap::new();
+        // Size the dense tables from one program scan; IDs are allocated
+        // densely from zero by `IdAlloc`, so `max + 1` is the table extent
+        // (the tables still auto-grow if a later ID appears).
+        let n_tbs = program
+            .kernels
+            .iter()
+            .flat_map(|k| k.desc.tbs.iter())
+            .map(|tb| tb.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let n_kernels = program
+            .kernels
+            .iter()
+            .map(|k| k.desc.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let n_groups = program
+            .kernels
+            .iter()
+            .flat_map(|k| k.desc.tbs.iter())
+            .filter_map(|tb| tb.group)
+            .map(|g| g.index() + 1)
+            .max()
+            .unwrap_or(0);
+
+        let mut tb_gpu: DenseMap<TbId, GpuId> = DenseMap::with_capacity(n_tbs);
         for k in &program.kernels {
             for tb in &k.desc.tbs {
                 tb_gpu.insert(tb.id, k.gpu);
             }
         }
 
-        let index: HashMap<KernelId, usize> = program
-            .kernels
-            .iter()
-            .enumerate()
-            .map(|(i, k)| (k.desc.id, i))
-            .collect();
-        let mut children: HashMap<KernelId, Vec<usize>> = HashMap::new();
+        let mut index: DenseMap<KernelId, usize> = DenseMap::with_capacity(n_kernels);
+        for (i, k) in program.kernels.iter().enumerate() {
+            index.insert(k.desc.id, i);
+        }
+        let mut children: DenseMap<KernelId, Vec<usize>> = DenseMap::with_capacity(n_kernels);
         let dep_remaining: Vec<usize> = program.kernels.iter().map(|k| k.after.len()).collect();
         for (i, k) in program.kernels.iter().enumerate() {
             for dep in &k.after {
-                debug_assert!(index.contains_key(dep));
-                children.entry(*dep).or_default().push(i);
+                debug_assert!(index.contains_key(*dep));
+                children.get_or_default(*dep).push(i);
             }
         }
 
-        let mut tb_ready_remaining = HashMap::new();
-        let mut tile_ready_waiters: HashMap<(GpuId, TileId), Vec<TbId>> = HashMap::new();
-        let mut ready_pending = HashSet::new();
+        let mut tiles: Vec<DenseMap<TileId, TileEntry>> =
+            (0..cfg.n_gpus).map(|_| DenseMap::new()).collect();
+        let mut tb_ready_remaining: DenseMap<TbId, usize> = DenseMap::with_capacity(n_tbs);
+        let mut ready_pending: DenseSet<TbId> = DenseSet::with_capacity(n_tbs);
         // Deterministic registration order: waiter lists (and therefore
         // FIFO tie-breaks downstream) must not depend on hash order.
         let mut ready_deps: Vec<(&TbId, &Vec<TileId>)> = program.tb_ready_deps.iter().collect();
         ready_deps.sort_by_key(|(tb, _)| **tb);
-        for (tb, tiles) in ready_deps {
+        for (tb, dep_tiles) in ready_deps {
             let gpu = *tb_gpu
-                .get(tb)
+                .get(*tb)
                 .unwrap_or_else(|| panic!("ready dep for unknown TB {tb}"));
-            if tiles.is_empty() {
+            if dep_tiles.is_empty() {
                 // Dependency-gated kernel but this TB has no prerequisites:
                 // it is ready the moment its kernel launches.
                 ready_pending.insert(*tb);
                 continue;
             }
-            tb_ready_remaining.insert(*tb, tiles.len());
-            for tile in tiles {
-                tile_ready_waiters
-                    .entry((gpu, *tile))
-                    .or_default()
+            tb_ready_remaining.insert(*tb, dep_tiles.len());
+            for tile in dep_tiles {
+                tiles[gpu.index()]
+                    .get_or_default(*tile)
+                    .ready_waiters
                     .push(*tb);
             }
         }
 
+        let mut tile_expected: DenseMap<TileId, u32> = DenseMap::new();
+        for (tile, expected) in &program.tile_expected {
+            tile_expected.insert(*tile, *expected);
+        }
+
         let kernels_remaining = program.kernels.len();
-        let throttle = (0..cfg.n_gpus)
-            .map(|_| {
-                (0..cfg.n_planes)
-                    .map(|_| ThrottleState::default())
-                    .collect()
-            })
+        let throttle = (0..cfg.n_gpus * cfg.n_planes)
+            .map(|_| ThrottleState::default())
             .collect();
 
         SystemSim {
@@ -153,17 +191,19 @@ impl SystemSim {
             kernels_remaining,
             kernel_spans: BTreeMap::new(),
             tb_gpu,
-            tb_blocked: HashMap::new(),
+            tb_blocked: DenseMap::with_capacity(n_tbs),
             tb_ready_remaining,
             ready_pending,
-            launched_tbs: HashSet::new(),
-            tile_ready_waiters,
-            tiles: (0..cfg.n_gpus).map(|_| HashMap::new()).collect(),
-            tile_expected: program.tile_expected,
-            preaccess_blocked: HashMap::new(),
+            launched_tbs: DenseSet::with_capacity(n_tbs),
+            tiles,
+            tile_expected,
+            preaccess_blocked: vec![Vec::new(); cfg.n_gpus * n_groups],
+            n_groups,
             throttle,
-            inflight_cais_loads: HashSet::new(),
+            inflight_cais_loads: HashSet::default(),
             deduped_fetches: 0,
+            scratch_effects: Vec::new(),
+            scratch_deliveries: Vec::new(),
             cfg,
         }
     }
@@ -214,21 +254,23 @@ impl SystemSim {
     }
 
     fn drain_effects(&mut self) {
+        let mut effects = std::mem::take(&mut self.scratch_effects);
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         loop {
             let mut any = false;
             for gi in 0..self.gpus.len() {
-                let effects = self.gpus[gi].drain_effects();
+                self.gpus[gi].drain_effects_into(&mut effects);
                 if !effects.is_empty() {
                     any = true;
-                    for (t, e) in effects {
+                    for (t, e) in effects.drain(..) {
                         self.handle_gpu_effect(t, GpuId(gi as u16), e);
                     }
                 }
             }
-            let deliveries = self.fabric.drain_deliveries();
+            self.fabric.drain_deliveries_into(&mut deliveries);
             if !deliveries.is_empty() {
                 any = true;
-                for d in deliveries {
+                for d in deliveries.drain(..) {
                     self.handle_delivery(d);
                 }
             }
@@ -236,6 +278,8 @@ impl SystemSim {
                 break;
             }
         }
+        self.scratch_effects = effects;
+        self.scratch_deliveries = deliveries;
     }
 
     fn launch_kernel(&mut self, now: SimTime, idx: usize) {
@@ -261,7 +305,7 @@ impl SystemSim {
             .tbs
             .iter()
             .map(|tb| tb.id)
-            .filter(|id| self.ready_pending.remove(id))
+            .filter(|id| self.ready_pending.remove(*id))
             .collect();
         self.gpus[gpu.index()].launch_kernel(now, planned.desc);
         for tb in ready_now {
@@ -272,7 +316,7 @@ impl SystemSim {
     // ---- tile state ----------------------------------------------------
 
     fn tile_entry(&mut self, gpu: GpuId, tile: TileId) -> &mut TileEntry {
-        self.tiles[gpu.index()].entry(tile).or_default()
+        self.tiles[gpu.index()].get_or_default(tile)
     }
 
     fn mark_tile_present(&mut self, now: SimTime, gpu: GpuId, tile: TileId) {
@@ -282,30 +326,29 @@ impl SystemSim {
         }
         entry.present = true;
         let waiters = std::mem::take(&mut entry.resume_waiters);
+        let ready = std::mem::take(&mut entry.ready_waiters);
         for tb in waiters {
             self.dec_blocked(now, tb);
         }
-        if let Some(ready) = self.tile_ready_waiters.remove(&(gpu, tile)) {
-            for tb in ready {
-                let rem = self
-                    .tb_ready_remaining
-                    .get_mut(&tb)
-                    .expect("ready waiter without counter");
-                *rem -= 1;
-                if *rem == 0 {
-                    if self.launched_tbs.contains(&tb) {
-                        let g = self.tb_gpu[&tb];
-                        self.gpus[g.index()].make_tb_ready(now, tb);
-                    } else {
-                        self.ready_pending.insert(tb);
-                    }
+        for tb in ready {
+            let rem = self
+                .tb_ready_remaining
+                .get_mut(tb)
+                .expect("ready waiter without counter");
+            *rem -= 1;
+            if *rem == 0 {
+                if self.launched_tbs.contains(tb) {
+                    let g = *self.tb_gpu.get(tb).expect("waiter TB without a GPU");
+                    self.gpus[g.index()].make_tb_ready(now, tb);
+                } else {
+                    self.ready_pending.insert(tb);
                 }
             }
         }
     }
 
     fn add_contrib(&mut self, now: SimTime, gpu: GpuId, tile: TileId, n: u32) {
-        let expected = self.tile_expected.get(&tile).copied().unwrap_or(1);
+        let expected = self.tile_expected.get(tile).copied().unwrap_or(1);
         let entry = self.tile_entry(gpu, tile);
         entry.contribs += n;
         debug_assert!(
@@ -321,12 +364,12 @@ impl SystemSim {
     fn dec_blocked(&mut self, now: SimTime, tb: TbId) {
         let count = self
             .tb_blocked
-            .get_mut(&tb)
+            .get_mut(tb)
             .unwrap_or_else(|| panic!("TB {tb} not blocked"));
         *count -= 1;
         if *count == 0 {
-            self.tb_blocked.remove(&tb);
-            let g = self.tb_gpu[&tb];
+            self.tb_blocked.remove(tb);
+            let g = *self.tb_gpu.get(tb).expect("blocked TB without a GPU");
             self.gpus[g.index()].resume_tb(now, tb);
         }
     }
@@ -357,7 +400,7 @@ impl SystemSim {
             return;
         };
         let plane = self.plane_for(&msg);
-        let st = &mut self.throttle[src.index()][plane.index()];
+        let st = &mut self.throttle[src.index() * self.cfg.n_planes + plane.index()];
         if st.outstanding < limit {
             st.outstanding += 1;
             self.fabric.inject(now, src, dst, plane, msg);
@@ -372,7 +415,7 @@ impl SystemSim {
         }
         let limit = self.cfg.cais_credits_per_plane.expect("checked");
         loop {
-            let st = &mut self.throttle[gpu.index()][plane.index()];
+            let st = &mut self.throttle[gpu.index() * self.cfg.n_planes + plane.index()];
             st.outstanding = st.outstanding.saturating_sub(n as usize);
             n = 0;
             if st.outstanding >= limit {
@@ -400,10 +443,7 @@ impl SystemSim {
                     SyncKind::PreAccess => 1,
                 };
                 if kind == SyncKind::PreAccess {
-                    self.preaccess_blocked
-                        .entry((gpu, group))
-                        .or_default()
-                        .push(tb);
+                    self.preaccess_blocked[gpu.index() * self.n_groups + group.index()].push(tb);
                 }
                 self.inject(
                     t,
@@ -428,7 +468,7 @@ impl SystemSim {
                 if missing == 0 {
                     self.gpus[gpu.index()].resume_tb(t, tb);
                 } else {
-                    *self.tb_blocked.entry(tb).or_insert(0) += missing;
+                    *self.tb_blocked.get_or_default(tb) += missing;
                 }
             }
             GpuEffect::TbCompleted { .. } => {}
@@ -437,7 +477,7 @@ impl SystemSim {
                     span.end = t;
                 }
                 self.kernels_remaining -= 1;
-                if let Some(children) = self.children.remove(&kernel) {
+                if let Some(children) = self.children.remove(kernel) {
                     for idx in children {
                         self.dep_remaining[idx] -= 1;
                         if self.dep_remaining[idx] == 0 {
@@ -607,7 +647,7 @@ impl SystemSim {
         if blocking && outstanding == 0 {
             self.gpus[gpu.index()].resume_tb(t, tb);
         } else if blocking {
-            *self.tb_blocked.entry(tb).or_insert(0) += outstanding;
+            *self.tb_blocked.get_or_default(tb) += outstanding;
         }
     }
 
@@ -702,11 +742,13 @@ impl SystemSim {
             Msg::SyncRel { group, kind } => match kind {
                 0 => self.gpus[gpu.index()].release_group(t, group),
                 _ => {
-                    for tb in self
+                    let slot = gpu.index() * self.n_groups + group.index();
+                    let waiters = self
                         .preaccess_blocked
-                        .remove(&(gpu, group))
-                        .unwrap_or_default()
-                    {
+                        .get_mut(slot)
+                        .map(std::mem::take)
+                        .unwrap_or_default();
+                    for tb in waiters {
                         self.gpus[gpu.index()].resume_tb(t, tb);
                     }
                 }
@@ -732,19 +774,26 @@ impl SystemSim {
                     let live = self.gpus[s.gpu.index()]
                         .stuck_tbs()
                         .iter()
-                        .any(|tb| self.tb_gpu.get(tb) == Some(&s.gpu));
+                        .any(|tb| self.tb_gpu.get(*tb) == Some(&s.gpu));
                     (live).then(|| format!("incomplete {id} {} on {}", s.name, s.gpu))
                 }))
                 .take(12)
                 .collect();
             let engine_blocked = self.tb_blocked.len();
+            let n_groups = self.n_groups.max(1);
             let preaccess: Vec<_> = self
                 .preaccess_blocked
                 .iter()
-                .map(|((g, grp), tbs)| format!("{g}/{grp}:{}", tbs.len()))
+                .enumerate()
+                .filter(|(_, tbs)| !tbs.is_empty())
+                .map(|(i, tbs)| {
+                    let g = GpuId((i / n_groups) as u16);
+                    let grp = GroupId((i % n_groups) as u32);
+                    format!("{g}/{grp}:{}", tbs.len())
+                })
                 .take(8)
                 .collect();
-            let queued: usize = self.throttle.iter().flatten().map(|t| t.queue.len()).sum();
+            let queued: usize = self.throttle.iter().map(|t| t.queue.len()).sum();
             panic!(
                 "deadlock: {} kernels never completed; engine-blocked TBs {engine_blocked}, \
                  pre-access waiters {preaccess:?}, throttle-queued {queued}; kernels: {incomplete:?}",
@@ -762,6 +811,15 @@ impl SystemSim {
             .iter()
             .find(|(k, _)| k == "cais.mean_spread_us")
             .map(|(_, v)| SimDuration::from_ps((*v * 1e6) as u64));
+        let events_processed = self.gpus.iter().map(|g| g.events_processed()).sum::<u64>()
+            + self.fabric.events_processed();
+        let queue_peak = self
+            .gpus
+            .iter()
+            .map(|g| g.queue_peak())
+            .chain(std::iter::once(self.fabric.queue_peak()))
+            .max()
+            .unwrap_or(0);
         ExecReport {
             total,
             gpu_occupancy: self.gpus.iter().map(|g| g.occupancy(total)).collect(),
@@ -770,6 +828,8 @@ impl SystemSim {
             logic_stats,
             deduped_fetches: self.deduped_fetches,
             mean_request_spread,
+            events_processed,
+            queue_peak,
         }
     }
 }

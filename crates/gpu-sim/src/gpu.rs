@@ -3,7 +3,7 @@
 use crate::config::{GpuConfig, ReadyPolicy};
 use crate::kernel::{KernelDesc, MemOp, Phase, SyncKind, TbDesc};
 use sim_core::rng::JitterRng;
-use sim_core::{EventQueue, GroupId, KernelId, SimDuration, SimTime, TbId, TileId};
+use sim_core::{EventQueue, FastHash, GroupId, KernelId, SimDuration, SimTime, TbId, TileId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -119,13 +119,18 @@ pub struct GpuSim {
     cfg: GpuConfig,
     now: SimTime,
     queue: EventQueue<GpuEvent>,
-    tbs: HashMap<TbId, TbRuntime>,
-    kernels: HashMap<KernelId, KernelRuntime>,
+    tbs: HashMap<TbId, TbRuntime, FastHash>,
+    kernels: HashMap<KernelId, KernelRuntime, FastHash>,
     ready: BinaryHeap<Reverse<(u64, u64, TbId)>>,
     ready_seq: u64,
+    /// Whether a [`GpuEvent::Dispatch`] is already queued. Every push
+    /// site runs at the engine's current step time, so one pending
+    /// dispatch event covers all of them; collapsing the duplicates
+    /// (which would drain an already-empty ready queue) is free.
+    dispatch_pending: bool,
     slots_free: usize,
-    released_groups: HashSet<GroupId>,
-    pending_group: HashMap<GroupId, Vec<TbId>>,
+    released_groups: HashSet<GroupId, FastHash>,
+    pending_group: HashMap<GroupId, Vec<TbId>, FastHash>,
     effects: Vec<(SimTime, GpuEffect)>,
     rng: JitterRng,
     // Slot-occupancy integral for utilization reporting.
@@ -142,13 +147,14 @@ impl GpuSim {
             cfg,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            tbs: HashMap::new(),
-            kernels: HashMap::new(),
+            tbs: HashMap::default(),
+            kernels: HashMap::default(),
             ready: BinaryHeap::new(),
             ready_seq: 0,
+            dispatch_pending: false,
             slots_free: slots,
-            released_groups: HashSet::new(),
-            pending_group: HashMap::new(),
+            released_groups: HashSet::default(),
+            pending_group: HashMap::default(),
             effects: Vec::new(),
             rng: JitterRng::seed_from(seed),
             occupancy_integral_ps: 0,
@@ -259,7 +265,7 @@ impl GpuSim {
                 let seq = self.ready_seq;
                 self.ready_seq += 1;
                 self.ready.push(Reverse((0, seq, tb)));
-                self.queue.push(time, GpuEvent::Dispatch);
+                self.push_dispatch(time);
             }
             other => panic!("resume_tb: {tb} is {other:?}, not blocked"),
         }
@@ -275,7 +281,7 @@ impl GpuSim {
         for tb in self.pending_group.remove(&group).unwrap_or_default() {
             self.enqueue_ready(time, tb);
         }
-        self.queue.push(time, GpuEvent::Dispatch);
+        self.push_dispatch(time);
     }
 
     /// Timestamp of the next internal event.
@@ -297,6 +303,15 @@ impl GpuSim {
         std::mem::take(&mut self.effects)
     }
 
+    /// Like [`GpuSim::drain_effects`], but swaps the effects into `out`
+    /// (cleared first), handing the GPU `out`'s allocation to refill.
+    /// Lets a driver recycle one scratch buffer across drains instead of
+    /// re-growing a fresh `Vec` per cycle.
+    pub fn drain_effects_into(&mut self, out: &mut Vec<(SimTime, GpuEffect)>) {
+        out.clear();
+        std::mem::swap(&mut self.effects, out);
+    }
+
     /// True when no TB is queued, running, blocked or pending.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
@@ -313,6 +328,16 @@ impl GpuSim {
             .filter(|(_, rt)| !matches!(rt.state, TbState::Done))
             .map(|(id, _)| *id)
             .collect()
+    }
+
+    /// Total internal events processed so far (perf accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.pops()
+    }
+
+    /// High-water mark of the internal event queue (perf accounting).
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// Mean SM-slot occupancy in `[0, horizon)` (0..=1).
@@ -335,6 +360,13 @@ impl GpuSim {
             * now.saturating_since(self.occupancy_last_change).as_ps() as u128;
         self.occupancy_last_change = self.occupancy_last_change.max(now);
         self.slots_in_use = (self.slots_in_use as isize + delta) as usize;
+    }
+
+    fn push_dispatch(&mut self, time: SimTime) {
+        if !self.dispatch_pending {
+            self.dispatch_pending = true;
+            self.queue.push(time, GpuEvent::Dispatch);
+        }
     }
 
     fn schedule_ready(&mut self, time: SimTime, tb: TbId) {
@@ -410,9 +442,12 @@ impl GpuSim {
                     }
                 }
                 self.enqueue_ready(now, tb);
-                self.queue.push(now, GpuEvent::Dispatch);
+                self.push_dispatch(now);
             }
-            GpuEvent::Dispatch => self.dispatch(now),
+            GpuEvent::Dispatch => {
+                self.dispatch_pending = false;
+                self.dispatch(now);
+            }
             GpuEvent::PhaseDone(tb) => {
                 let rt = self.tbs.get_mut(&tb).expect("PhaseDone: unknown TB");
                 let phase = match rt.state {
@@ -488,7 +523,7 @@ impl GpuSim {
                     self.note_occupancy_change(now, -1);
                     self.effects
                         .push((now, GpuEffect::GroupSyncRequest { tb, group, kind }));
-                    self.queue.push(now, GpuEvent::Dispatch);
+                    self.push_dispatch(now);
                     return;
                 }
                 Phase::SignalTile(tile) => {
@@ -520,7 +555,7 @@ impl GpuSim {
             self.effects
                 .push((now, GpuEffect::KernelCompleted { kernel }));
         }
-        self.queue.push(now, GpuEvent::Dispatch);
+        self.push_dispatch(now);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The fabric: switches, links, routing and the switch-logic hook.
 
-use crate::link::{Direction, Link};
+use crate::link::{Direction, EnqueueEffect, Link};
 use crate::packet::{Delivery, FlowClass, Hop, Packet, Payload};
 use crate::report::{FabricReport, LinkUsage};
 use sim_core::{Bandwidth, EventQueue, GpuId, PlaneId, SimDuration, SimTime};
@@ -70,13 +70,6 @@ pub struct SwitchCtx<P> {
 }
 
 impl<P> SwitchCtx<P> {
-    fn new(plane: PlaneId) -> SwitchCtx<P> {
-        SwitchCtx {
-            plane,
-            actions: Vec::new(),
-        }
-    }
-
     /// The switch plane this callback runs on.
     pub fn plane(&self) -> PlaneId {
         self.plane
@@ -146,7 +139,7 @@ impl<P: Payload> SwitchLogic<P> for PureRouter {
 
 #[derive(Debug)]
 enum NetEvent<P> {
-    LinkFree(usize),
+    LinkFree { li: usize, token: u64 },
     ArriveSwitch(Packet<P>),
     ArriveGpu(Packet<P>),
     Timer { plane: PlaneId, key: u64 },
@@ -164,6 +157,9 @@ pub struct Fabric<P, L> {
     deliveries: Vec<Delivery<P>>,
     pkt_seq: u64,
     now: SimTime,
+    /// Recycled action buffer for [`SwitchCtx`], so per-arrival logic
+    /// callbacks don't allocate.
+    scratch_actions: Vec<Action<P>>,
 }
 
 impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
@@ -194,6 +190,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             deliveries: Vec::new(),
             pkt_seq: 0,
             now: SimTime::ZERO,
+            scratch_actions: Vec::new(),
         }
     }
 
@@ -235,7 +232,9 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             hop: Hop::ToSwitch,
             payload,
         };
-        self.enqueue_on_link(time, pkt);
+        // External callers only inject once the fabric has been advanced
+        // through `time`, so every link event at `time` already fired.
+        self.enqueue_on_link(time, pkt, true);
     }
 
     fn next_pkt_id(&mut self) -> u64 {
@@ -244,7 +243,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
         id
     }
 
-    fn enqueue_on_link(&mut self, time: SimTime, pkt: Packet<P>) {
+    fn enqueue_on_link(&mut self, time: SimTime, pkt: Packet<P>, now_settled: bool) {
         let (gpu, dir) = match pkt.hop {
             Hop::ToSwitch => (pkt.src, Direction::Up),
             Hop::ToGpu => (pkt.dst, Direction::Down),
@@ -252,20 +251,38 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
         let li = self.link_idx(pkt.plane, gpu, dir);
         let vc = pkt.payload.class().vc(self.cfg.traffic_control);
         let bytes = pkt.payload.data_bytes();
-        self.links[li].enqueue(vc, pkt, bytes);
-        if !self.links[li].is_serving() {
+        match self.links[li].enqueue(vc, pkt, bytes, time, now_settled) {
+            EnqueueEffect::Pending => {}
             // Wake the link: serve at `time` (>= now, so causality holds).
-            self.links[li].set_serving(true);
-            self.queue.push(time, NetEvent::LinkFree(li));
+            EnqueueEffect::Wake => self.push_link_free(li, time),
+            // A coalesced burst was cut; its old event is now stale and the
+            // link re-arbitrates at the cut boundary.
+            EnqueueEffect::Preempted(cut) => self.push_link_free(li, cut),
         }
     }
 
-    fn serve_link(&mut self, li: usize, now: SimTime) {
+    fn push_link_free(&mut self, li: usize, at: SimTime) {
+        let token = self.links[li].token();
+        self.queue.push(at, NetEvent::LinkFree { li, token });
+    }
+
+    fn serve_link(&mut self, li: usize, now: SimTime, token: u64) {
+        if token != self.links[li].token() {
+            // Superseded by a burst preemption.
+            return;
+        }
+        if let Some((pkt, arrive_at)) = self.links[li].finish_burst(now) {
+            let ev = match pkt.hop {
+                Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
+                Hop::ToGpu => NetEvent::ArriveGpu(pkt),
+            };
+            self.queue.push(arrive_at, ev);
+        }
         match self.links[li].serve(now) {
             None => self.links[li].set_serving(false),
             Some(out) => {
                 self.links[li].set_serving(true);
-                self.queue.push(out.free_at, NetEvent::LinkFree(li));
+                self.push_link_free(li, out.free_at);
                 if let Some((pkt, arrive_at)) = out.departed {
                     let ev = match pkt.hop {
                         Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
@@ -281,13 +298,17 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     where
         F: FnOnce(&mut L, &mut SwitchCtx<P>),
     {
-        let mut ctx = SwitchCtx::new(plane);
+        let mut ctx = SwitchCtx {
+            plane,
+            actions: std::mem::take(&mut self.scratch_actions),
+        };
         f(&mut self.logic, &mut ctx);
-        for action in ctx.actions {
+        let mut actions = ctx.actions;
+        for action in actions.drain(..) {
             match action {
                 Action::Forward(mut pkt) => {
                     pkt.hop = Hop::ToGpu;
-                    self.enqueue_on_link(now, pkt);
+                    self.enqueue_on_link(now, pkt, false);
                 }
                 Action::Emit { src, dst, payload } => {
                     let pkt = Packet {
@@ -298,7 +319,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                         hop: Hop::ToGpu,
                         payload,
                     };
-                    self.enqueue_on_link(now, pkt);
+                    self.enqueue_on_link(now, pkt, false);
                 }
                 Action::Timer { at, key } => {
                     assert!(at >= now, "switch logic set a timer in the past");
@@ -306,12 +327,13 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                 }
             }
         }
+        self.scratch_actions = actions;
     }
 
     fn dispatch(&mut self, time: SimTime, ev: NetEvent<P>) {
         self.now = time;
         match ev {
-            NetEvent::LinkFree(li) => self.serve_link(li, time),
+            NetEvent::LinkFree { li, token } => self.serve_link(li, time, token),
             NetEvent::ArriveSwitch(pkt) => {
                 let plane = pkt.plane;
                 self.run_logic(time, plane, |logic, ctx| logic.on_packet(time, pkt, ctx));
@@ -355,9 +377,28 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
         self.now
     }
 
+    /// Total network events processed so far (perf accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.pops()
+    }
+
+    /// High-water mark of the network event queue (perf accounting).
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Takes all payloads delivered to GPUs since the last drain.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery<P>> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    /// Like [`Fabric::drain_deliveries`], but swaps the deliveries into
+    /// `out` (cleared first), handing the fabric `out`'s allocation to
+    /// refill. Lets a driver recycle one scratch buffer across drains
+    /// instead of re-growing a fresh `Vec` per cycle.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery<P>>) {
+        out.clear();
+        std::mem::swap(&mut self.deliveries, out);
     }
 
     /// Builds a usage report over the horizon `[0, horizon)`.
@@ -381,7 +422,8 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                 }
             }
         }
-        FabricReport::new(horizon, usages)
+        let saved = self.links.iter().map(Link::events_saved).sum();
+        FabricReport::new(horizon, usages).with_events_saved(saved)
     }
 }
 
@@ -476,6 +518,22 @@ mod tests {
             (got_ns - expect_ns).abs() < 2.0,
             "expected ~{expect_ns} ns got {got_ns} ns"
         );
+    }
+
+    #[test]
+    fn coalescing_saves_events_without_changing_times() {
+        // 1 MB over two hops: the per-segment model would cost one event
+        // per 2048 B segment per hop; coalescing collapses each hop to one.
+        let mut f = Fabric::new(cfg2(), PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(1 << 20));
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 1);
+        // Same arrival as the per-segment walk: 2 x (1 MB + 16 B) + 500 ns.
+        assert_eq!(d[0].time, SimTime::from_ns(2 * ((1 << 20) + 16) + 500));
+        let segs_per_hop = (1u64 << 20).div_ceil(2048);
+        let report = f.report(SimDuration::from_us(1));
+        assert_eq!(report.events_saved(), 2 * (segs_per_hop - 1));
     }
 
     #[test]

@@ -32,12 +32,30 @@ pub struct LinkUsage {
 pub struct FabricReport {
     horizon: SimDuration,
     usages: Vec<LinkUsage>,
+    events_saved: u64,
 }
 
 impl FabricReport {
     /// Builds a report from per-link usages.
     pub fn new(horizon: SimDuration, usages: Vec<LinkUsage>) -> FabricReport {
-        FabricReport { horizon, usages }
+        FabricReport {
+            horizon,
+            usages,
+            events_saved: 0,
+        }
+    }
+
+    /// Attaches the segment-coalescing event savings counter.
+    pub fn with_events_saved(mut self, events_saved: u64) -> FabricReport {
+        self.events_saved = events_saved;
+        self
+    }
+
+    /// Link events avoided by segment coalescing across all links: the
+    /// per-segment events the uncoalesced model would have processed,
+    /// minus the single burst event that replaced each run of them.
+    pub fn events_saved(&self) -> u64 {
+        self.events_saved
     }
 
     /// The observation horizon used for utilization.

@@ -2,7 +2,7 @@
 
 use cais_engine::Msg;
 use noc_sim::{Packet, SwitchCtx, SwitchLogic};
-use sim_core::{Addr, GpuId, SimTime, TbId, TileId};
+use sim_core::{Addr, FastHash, GpuId, SimTime, TbId, TileId};
 use std::collections::HashMap;
 
 #[derive(Debug)]
@@ -37,8 +37,8 @@ struct PullSession {
 #[derive(Debug)]
 pub struct NvlsLogic {
     n_gpus: u32,
-    reduce_sessions: HashMap<Addr, ReduceSession>,
-    pull_sessions: HashMap<u64, PullSession>,
+    reduce_sessions: HashMap<Addr, ReduceSession, FastHash>,
+    pull_sessions: HashMap<u64, PullSession, FastHash>,
     multicasts: u64,
     reductions: u64,
     pulls: u64,
@@ -54,8 +54,8 @@ impl NvlsLogic {
         assert!(n_gpus >= 2, "NVLS needs at least two GPUs");
         NvlsLogic {
             n_gpus: n_gpus as u32,
-            reduce_sessions: HashMap::new(),
-            pull_sessions: HashMap::new(),
+            reduce_sessions: HashMap::default(),
+            pull_sessions: HashMap::default(),
             multicasts: 0,
             reductions: 0,
             pulls: 0,

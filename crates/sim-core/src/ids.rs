@@ -1,10 +1,17 @@
-//! Identifier newtypes used across the simulator layers.
+//! Identifier newtypes used across the simulator layers, plus the dense
+//! ID-indexed collections the hot paths use instead of hash maps.
 //!
 //! Using distinct types for GPU, switch-plane, kernel, thread-block, tile and
 //! TB-group identifiers prevents index-mixup bugs that plague simulators
-//! written around bare `usize` everywhere.
+//! written around bare `usize` everywhere. Because every ID is allocated
+//! densely from zero by the engine's `IdAlloc`, state keyed by an ID can
+//! live in a flat vector ([`DenseMap`], [`DenseSet`]) with O(1) access and
+//! deterministic index-order iteration — no hashing, no iteration-order
+//! hazards.
 
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::marker::PhantomData;
 
 macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
@@ -25,12 +32,31 @@ macro_rules! id_type {
             }
         }
 
+        impl IdIndex for $name {
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            fn from_index(i: usize) -> Self {
+                $name(i as $inner)
+            }
+        }
+
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, concat!($prefix, "{}"), self.0)
             }
         }
     };
+}
+
+/// An identifier that is a dense index: convertible to and from `usize`
+/// without loss. Implemented by every ID newtype in this module, letting
+/// [`DenseMap`] and [`DenseSet`] key directly off the typed IDs.
+pub trait IdIndex: Copy {
+    /// The raw index value.
+    fn index(self) -> usize;
+    /// The ID with raw index `i`.
+    fn from_index(i: usize) -> Self;
 }
 
 id_type!(
@@ -131,6 +157,275 @@ impl fmt::Display for Addr {
         write!(f, "{}+{:#x}", self.home_gpu(), self.offset())
     }
 }
+
+/// A map keyed by a dense ID, stored as `Vec<Option<T>>`.
+///
+/// Constant-time access with no hashing, and iteration in index order, so
+/// it is deterministic by construction. Grows on insert; size it up front
+/// with [`DenseMap::with_capacity`] when the ID universe is known.
+///
+/// ```
+/// use sim_core::{DenseMap, TbId};
+/// let mut m: DenseMap<TbId, u32> = DenseMap::new();
+/// m.insert(TbId(3), 7);
+/// assert_eq!(m.get(TbId(3)), Some(&7));
+/// assert_eq!(m.len(), 1);
+/// assert_eq!(m.remove(TbId(3)), Some(7));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseMap<I, T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+    _key: PhantomData<I>,
+}
+
+impl<I: IdIndex, T> DenseMap<I, T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DenseMap {
+            slots: Vec::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Creates an empty map with room for IDs `0..n` without regrowth.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(n, || None);
+        DenseMap {
+            slots,
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: I) -> Option<&T> {
+        self.slots.get(key.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: I) -> Option<&mut T> {
+        self.slots.get_mut(key.index()).and_then(|s| s.as_mut())
+    }
+
+    /// True if `key` has a value.
+    #[inline]
+    pub fn contains_key(&self, key: I) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: I, value: T) -> Option<T> {
+        let i = key.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let prev = self.slots[i].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: I) -> Option<T> {
+        let prev = self.slots.get_mut(key.index()).and_then(|s| s.take());
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Mutable access to the value at `key`, inserting `T::default()`
+    /// first if absent (the `entry().or_default()` idiom).
+    pub fn get_or_default(&mut self, key: I) -> &mut T
+    where
+        T: Default,
+    {
+        let i = key.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(T::default());
+            self.len += 1;
+        }
+        self.slots[i].as_mut().expect("just ensured present")
+    }
+
+    /// Present entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (I::from_index(i), v)))
+    }
+
+    /// Present keys in index order.
+    pub fn keys(&self) -> impl Iterator<Item = I> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+impl<I: IdIndex, T> Default for DenseMap<I, T> {
+    fn default() -> Self {
+        DenseMap::new()
+    }
+}
+
+/// A set of dense IDs, stored as a bitmap.
+///
+/// ```
+/// use sim_core::{DenseSet, TbId};
+/// let mut s: DenseSet<TbId> = DenseSet::new();
+/// assert!(s.insert(TbId(70)));
+/// assert!(!s.insert(TbId(70)));
+/// assert!(s.contains(TbId(70)));
+/// assert!(s.remove(TbId(70)));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DenseSet<I> {
+    words: Vec<u64>,
+    len: usize,
+    _key: PhantomData<I>,
+}
+
+impl<I: IdIndex> DenseSet<I> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DenseSet {
+            words: Vec::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Creates an empty set with room for IDs `0..n` without regrowth.
+    pub fn with_capacity(n: usize) -> Self {
+        DenseSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `key` is a member.
+    #[inline]
+    pub fn contains(&self, key: I) -> bool {
+        let i = key.index();
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Adds `key`; returns true if it was newly inserted.
+    pub fn insert(&mut self, key: I) -> bool {
+        let i = key.index();
+        if i / 64 >= self.words.len() {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        let bit = 1 << (i % 64);
+        let fresh = self.words[i / 64] & bit == 0;
+        self.words[i / 64] |= bit;
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `key`; returns true if it was a member.
+    pub fn remove(&mut self, key: I) -> bool {
+        let i = key.index();
+        let Some(w) = self.words.get_mut(i / 64) else {
+            return false;
+        };
+        let bit = 1 << (i % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+}
+
+/// A fast, deterministic hasher for the maps that stay hash-based (keys
+/// that are not dense indices, e.g. `(GpuId, Addr)` pairs).
+///
+/// `std`'s default SipHash is keyed per-process for DoS resistance the
+/// simulator does not need; this Fibonacci-multiply mix is several times
+/// cheaper and — being unkeyed — makes iteration order reproducible
+/// across runs and platforms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so sequential keys spread across buckets.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(29) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FastHasher`]; use as the `S` type
+/// parameter of `HashMap`/`HashSet`.
+pub type FastHash = BuildHasherDefault<FastHasher>;
 
 #[cfg(test)]
 mod tests {

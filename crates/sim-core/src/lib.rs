@@ -39,6 +39,8 @@ pub mod stats;
 pub mod time;
 
 pub use bandwidth::Bandwidth;
-pub use ids::{Addr, GpuId, GroupId, KernelId, PlaneId, TbId, TileId};
+pub use ids::{
+    Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, IdIndex, KernelId, PlaneId, TbId, TileId,
+};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

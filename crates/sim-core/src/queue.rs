@@ -1,8 +1,29 @@
 //! Deterministic discrete-event queue.
+//!
+//! Internally a bucketed calendar queue: a time wheel of `N_BUCKETS`
+//! buckets of `1 << DAY_SHIFT` picoseconds each, an occupancy bitmap to
+//! jump to the next non-empty bucket in a few word scans, and a sorted
+//! overflow heap for events beyond the wheel's window. The bucket under
+//! the cursor is kept staged in a vector sorted descending by
+//! `(time, seq)`, so `peek_time` is a field read and `pop` is a
+//! `Vec::pop`. Pushes behind the cursor rewind it; pushes before the
+//! window (possible only through deliberately out-of-order use) trigger
+//! a full rebuild. The observable contract is identical to a binary
+//! heap ordered by `(time, seq)`.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// log2 of the bucket width in picoseconds (8.192 ns per bucket).
+const DAY_SHIFT: u32 = 13;
+/// Number of wheel buckets; the window spans ~67 us.
+const N_BUCKETS: usize = 1 << 13;
+const DAY_MASK: u64 = N_BUCKETS as u64 - 1;
+
+fn day_of(t: SimTime) -> u64 {
+    t.as_ps() >> DAY_SHIFT
+}
 
 /// A priority queue of `(SimTime, E)` events with deterministic FIFO
 /// ordering among events scheduled for the same instant.
@@ -19,8 +40,23 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Entries of the cursor day, sorted descending by `(time, seq)`:
+    /// the earliest event is last. Non-empty whenever `len > 0`.
+    staged: Vec<Entry<E>>,
+    /// Day the staged entries belong to.
+    cur_day: u64,
+    /// Buckets hold days `[win_lo, win_lo + N_BUCKETS)`, at index
+    /// `day & DAY_MASK`.
+    win_lo: u64,
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket; set iff the bucket is non-empty.
+    occ: Vec<u64>,
+    /// Events at days `>= win_lo + N_BUCKETS`, earliest first.
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
     seq: u64,
+    pops: u64,
+    peak: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -56,8 +92,16 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            staged: Vec::new(),
+            cur_day: 0,
+            win_lo: 0,
+            buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            occ: vec![0u64; N_BUCKETS / 64],
+            overflow: BinaryHeap::new(),
+            len: 0,
             seq: 0,
+            pops: 0,
+            peak: 0,
         }
     }
 
@@ -65,17 +109,56 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let e = Entry { time, seq, event };
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        if self.len == 1 {
+            // Empty queue: re-anchor the window on this event.
+            self.win_lo = day_of(time);
+            self.cur_day = self.win_lo;
+            self.staged.push(e);
+            return;
+        }
+        let day = day_of(time);
+        if day == self.cur_day {
+            let i = self
+                .staged
+                .partition_point(|x| (x.time, x.seq) > (time, seq));
+            self.staged.insert(i, e);
+        } else if day >= self.win_lo + N_BUCKETS as u64 {
+            self.overflow.push(e);
+        } else if day > self.cur_day {
+            self.bucket_insert(e, day);
+        } else if day >= self.win_lo {
+            // Rewind: the event precedes the staged day. Unstage it and
+            // restart the cursor on the new day.
+            let prev = self.cur_day;
+            let b = (prev & DAY_MASK) as usize;
+            std::mem::swap(&mut self.buckets[b], &mut self.staged);
+            self.occ[b / 64] |= 1 << (b % 64);
+            self.cur_day = day;
+            self.bucket_insert(e, day);
+            self.restage();
+        } else {
+            // Before the window entirely: rebuild around the new minimum.
+            self.rebuild(e);
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let e = self.staged.pop()?;
+        self.len -= 1;
+        self.pops += 1;
+        if self.staged.is_empty() && self.len > 0 {
+            self.restage();
+        }
+        Some((e.time, e.event))
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.staged.last().map(|e| e.time)
     }
 
     /// Removes the earliest event only if it is scheduled at or before `now`.
@@ -88,17 +171,134 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Drops every pending event.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.staged.clear();
+        for w in 0..self.occ.len() {
+            let mut word = self.occ[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                self.buckets[w * 64 + bit].clear();
+                word &= word - 1;
+            }
+            self.occ[w] = 0;
+        }
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Total events popped over the queue's lifetime (perf accounting).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// High-water mark of pending events (perf accounting).
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    fn bucket_insert(&mut self, e: Entry<E>, day: u64) {
+        debug_assert!(day >= self.cur_day && day < self.win_lo + N_BUCKETS as u64);
+        let b = (day & DAY_MASK) as usize;
+        self.buckets[b].push(e);
+        self.occ[b / 64] |= 1 << (b % 64);
+    }
+
+    /// Re-establishes the staged-day invariant after the cursor day ran
+    /// dry (or moved): finds the next non-empty bucket — sliding the
+    /// window over the overflow heap if the wheel is exhausted — and
+    /// stages it, sorted.
+    fn restage(&mut self) {
+        debug_assert!(self.staged.is_empty() && self.len > 0);
+        loop {
+            if let Some(day) = self.next_occupied_day() {
+                self.cur_day = day;
+                let b = (day & DAY_MASK) as usize;
+                std::mem::swap(&mut self.buckets[b], &mut self.staged);
+                self.occ[b / 64] &= !(1 << (b % 64));
+                self.staged
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+                return;
+            }
+            // Wheel exhausted: everything pending is in the overflow.
+            // Slide the window to start at its earliest day.
+            let top = self.overflow.peek().expect("len > 0 but nothing pending");
+            self.win_lo = day_of(top.time);
+            self.cur_day = self.win_lo;
+            let win_end = self.win_lo + N_BUCKETS as u64;
+            while let Some(e) = self.overflow.peek() {
+                if day_of(e.time) >= win_end {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked");
+                let day = day_of(e.time);
+                self.bucket_insert(e, day);
+            }
+        }
+    }
+
+    /// First day in `[cur_day, win_lo + N_BUCKETS)` whose bucket is
+    /// non-empty, via the occupancy bitmap.
+    fn next_occupied_day(&self) -> Option<u64> {
+        let win_end = self.win_lo + N_BUCKETS as u64;
+        let mut day = self.cur_day;
+        while day < win_end {
+            let b = (day & DAY_MASK) as usize;
+            let bit = (b % 64) as u32;
+            let word = self.occ[b / 64] >> bit;
+            if word != 0 {
+                let cand = day + word.trailing_zeros() as u64;
+                return (cand < win_end).then_some(cand);
+            }
+            day += 64 - bit as u64;
+        }
+        None
+    }
+
+    /// Re-anchors the whole structure on a push before the window (only
+    /// reachable by popping forward and then pushing into the past).
+    fn rebuild(&mut self, e: Entry<E>) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        all.push(e);
+        all.append(&mut self.staged);
+        for w in 0..self.occ.len() {
+            let mut word = self.occ[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                all.append(&mut self.buckets[w * 64 + bit]);
+                word &= word - 1;
+            }
+            self.occ[w] = 0;
+        }
+        all.extend(self.overflow.drain());
+        let min_day = all
+            .iter()
+            .map(|x| day_of(x.time))
+            .min()
+            .expect("rebuild with at least one entry");
+        self.win_lo = min_day;
+        self.cur_day = min_day;
+        let win_end = min_day + N_BUCKETS as u64;
+        for x in all {
+            let day = day_of(x.time);
+            if day == min_day {
+                self.staged.push(x);
+            } else if day < win_end {
+                self.bucket_insert(x, day);
+            } else {
+                self.overflow.push(x);
+            }
+        }
+        self.staged
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
     }
 }
 
@@ -155,5 +355,113 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_beyond_window_slide_in_order() {
+        // Spread events over many windows (the wheel covers ~67 us) and
+        // mix in same-bucket neighbours; pops must be globally sorted.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = (0..500)
+            .map(|i: u64| (i * 7_919_333) % 10_000_000) // up to 10 ms, in ps
+            .collect();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_ps(*t), i);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_ps())).collect();
+        assert_eq!(popped, sorted);
+        assert_eq!(q.pops(), 500);
+        assert_eq!(q.peak_len(), 500);
+    }
+
+    #[test]
+    fn push_into_the_past_after_pops_still_orders() {
+        // Exercises the rewind and rebuild paths: pop far forward, then
+        // push behind the cursor (and before the window).
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(500), 'z');
+        q.push(SimTime::from_ns(10), 'a');
+        assert_eq!(q.pop().map(|(_, e)| e), Some('a'));
+        // Behind the cursor but inside the window.
+        q.push(SimTime::from_us(499), 'y');
+        // Far before the window start.
+        q.push(SimTime::from_ns(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['b', 'y', 'z']);
+    }
+
+    /// The original binary-heap implementation, kept as the ordering
+    /// oracle for the calendar queue.
+    struct ReferenceQueue {
+        heap: BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+        seq: u64,
+    }
+
+    impl ReferenceQueue {
+        fn new() -> Self {
+            ReferenceQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, t: SimTime, v: u32) {
+            self.heap.push(std::cmp::Reverse((t.as_ps(), self.seq, v)));
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(u64, u64, u32)> {
+            self.heap.pop().map(|std::cmp::Reverse(x)| x)
+        }
+    }
+
+    #[test]
+    fn matches_reference_heap_under_random_interleavings() {
+        use crate::rng::JitterRng;
+        for seed in 0..8u64 {
+            let mut rng = JitterRng::seed_from(0xCA15 ^ seed);
+            let mut q = EventQueue::new();
+            let mut r = ReferenceQueue::new();
+            let mut last = SimTime::ZERO;
+            for step in 0..4_000u32 {
+                if rng.next_below(3) < 2 {
+                    // Push: cluster near the last popped time, with
+                    // occasional same-instant repeats and far-future
+                    // outliers to cross the wheel window.
+                    let t = match rng.next_below(10) {
+                        0 => last,
+                        1..=6 => last + crate::time::SimDuration::from_ps(rng.next_below(50_000)),
+                        7 | 8 => {
+                            last + crate::time::SimDuration::from_ps(rng.next_below(500_000_000))
+                        }
+                        _ => SimTime::from_ps(rng.next_below(1_000_000_000)),
+                    };
+                    q.push(t, step);
+                    r.push(t, step);
+                } else {
+                    let got = q.pop();
+                    let want = r.pop();
+                    assert_eq!(
+                        got.map(|(t, v)| (t.as_ps(), v)),
+                        want.map(|(t, _, v)| (t, v)),
+                        "seed {seed} step {step}"
+                    );
+                    if let Some((t, _)) = got {
+                        last = t;
+                    }
+                }
+                assert_eq!(q.len(), r.heap.len(), "seed {seed} step {step}");
+                assert_eq!(
+                    q.peek_time().map(|t| t.as_ps()),
+                    r.heap.peek().map(|e| e.0 .0)
+                );
+            }
+            // Drain both; the full streams must agree.
+            while let Some(want) = r.pop() {
+                let got = q.pop().expect("calendar queue ran dry early");
+                assert_eq!((got.0.as_ps(), got.1), (want.0, want.2));
+            }
+            assert!(q.pop().is_none());
+        }
     }
 }
