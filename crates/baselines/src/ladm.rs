@@ -298,8 +298,8 @@ mod tests {
     fn ladm_runs_and_is_much_slower_than_nvls() {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-        let ladm = execute(&LadmStrategy::new(), &dfg, &cfg);
-        let nvls = execute(&crate::BaselineStrategy::sp_nvls(), &dfg, &cfg);
+        let ladm = execute(&LadmStrategy::new(), &dfg, &cfg).expect("run completes");
+        let nvls = execute(&crate::BaselineStrategy::sp_nvls(), &dfg, &cfg).expect("run completes");
         let ratio = ladm.total.as_secs_f64() / nvls.total.as_secs_f64();
         assert!(
             ratio > 1.5,

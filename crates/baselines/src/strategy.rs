@@ -54,7 +54,7 @@ pub enum Overlap {
 /// let cfg = SystemConfig::dgx_h100();
 /// let dfg = transformer_layer(
 ///     &ModelConfig::llama_7b(), cfg.tp(), TpMode::BasicTp, Pass::Forward);
-/// let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
+/// let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg).expect("run completes");
 /// println!("TP-NVLS layer time: {}", report.total);
 /// ```
 #[derive(Debug)]
@@ -614,7 +614,7 @@ mod tests {
             BaselineStrategy::fuselib_nvls(),
             BaselineStrategy::t3_nvls(),
         ] {
-            let report = execute(&s, &dfg, &cfg);
+            let report = execute(&s, &dfg, &cfg).expect("run completes");
             assert!(
                 report.total > sim_core::SimDuration::from_us(10),
                 "{} too fast: {}",
@@ -628,7 +628,7 @@ mod tests {
     fn tp_nvls_runs_a_basic_layer() {
         let cfg = small_cfg();
         let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
-        let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
+        let report = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg).expect("run completes");
         assert!(report.stat("nvls.reductions").unwrap_or(0.0) > 0.0);
     }
 
@@ -636,7 +636,7 @@ mod tests {
     fn sp_nvls_runs_an_sp_layer() {
         let cfg = small_cfg();
         let dfg = transformer_layer(&small_model(), 4, TpMode::SeqPar, Pass::Forward);
-        let report = execute(&BaselineStrategy::sp_nvls(), &dfg, &cfg);
+        let report = execute(&BaselineStrategy::sp_nvls(), &dfg, &cfg).expect("run completes");
         assert!(report.stat("nvls.multicasts").unwrap_or(0.0) > 0.0);
         assert!(report.stat("nvls.pulls").unwrap_or(0.0) > 0.0);
     }
@@ -649,8 +649,8 @@ mod tests {
         // either way, and NVLS's advantage is latency, not volume.
         let cfg = small_cfg();
         let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
-        let ring = execute(&BaselineStrategy::coconet(), &dfg, &cfg);
-        let nvls = execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg);
+        let ring = execute(&BaselineStrategy::coconet(), &dfg, &cfg).expect("run completes");
+        let nvls = execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg).expect("run completes");
         assert!(
             nvls.total < ring.total,
             "NVLS {} should beat ring {}",
@@ -663,8 +663,9 @@ mod tests {
     fn overlap_beats_no_overlap() {
         let cfg = small_cfg();
         let dfg = transformer_layer(&small_model(), 4, TpMode::BasicTp, Pass::Forward);
-        let barriered = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg);
-        let overlapped = execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg);
+        let barriered = execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg).expect("run completes");
+        let overlapped =
+            execute(&BaselineStrategy::coconet_nvls(), &dfg, &cfg).expect("run completes");
         assert!(
             overlapped.total < barriered.total,
             "overlap {} vs barrier {}",

@@ -37,7 +37,9 @@ fn bench_run(
 ) -> RunResult {
     let dfg = transformer_layer(model, cfg.tp(), mode, Pass::Forward);
     let mut report: Option<ExecReport> = None;
-    let stats = timeit(name, iters, || report = Some(execute(strategy, &dfg, cfg)));
+    let stats = timeit(name, iters, || {
+        report = Some(execute(strategy, &dfg, cfg).expect("bench run completes"));
+    });
     let report = report.expect("at least one timed iteration");
     let wall = stats.mean.as_secs_f64();
     RunResult {

@@ -114,10 +114,18 @@ fn bench_sublayer_end_to_end() {
     };
     let dfg = sublayer(&model, cfg.tp(), SubLayer::L1);
     timeit("end_to_end/cais_full_sublayer", 5, || {
-        black_box(execute(&CaisStrategy::full(), &dfg, &cfg).total)
+        black_box(
+            execute(&CaisStrategy::full(), &dfg, &cfg)
+                .expect("bench run completes")
+                .total,
+        )
     });
     timeit("end_to_end/cais_base_sublayer", 5, || {
-        black_box(execute(&CaisStrategy::base(), &dfg, &cfg).total)
+        black_box(
+            execute(&CaisStrategy::base(), &dfg, &cfg)
+                .expect("bench run completes")
+                .total,
+        )
     });
 }
 

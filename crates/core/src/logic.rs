@@ -5,6 +5,7 @@ use crate::merge::{MergeAction, MergeConfig, MergeStats, MergeUnit, Waiter};
 use crate::sync::GroupSyncTable;
 use cais_engine::Msg;
 use noc_sim::{Packet, SwitchCtx, SwitchLogic};
+use sim_core::rng::JitterRng;
 use sim_core::{FastHash, GpuId, GroupId, PlaneId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 
@@ -23,6 +24,11 @@ pub struct CaisLogic {
     n_gpus: usize,
     sweep_interval: SimDuration,
     timer_armed: HashSet<PlaneId, FastHash>,
+    /// Entry-fault RNG; `None` (the default) means no injection and no
+    /// draws, keeping fault-free runs byte-identical. Armed by
+    /// [`CaisLogic::with_fault_seed`] when the merge config's
+    /// `entry_fault_rate` is nonzero.
+    fault_rng: Option<JitterRng>,
     /// Recycled merge-action buffer, so per-packet handling does not
     /// allocate.
     scratch: Vec<MergeAction>,
@@ -37,8 +43,26 @@ impl CaisLogic {
             n_gpus,
             sweep_interval: SimDuration::from_us(20),
             timer_armed: HashSet::default(),
+            fault_rng: None,
             scratch: Vec::new(),
         }
+    }
+
+    /// Arms deterministic merge-entry fault injection from the fault
+    /// plan's root seed. A no-op when the merge config's fault rate is
+    /// zero, so fault-free runs never construct (or draw from) the stream.
+    ///
+    /// Arming also tightens the sweep cadence: merge sessions typically
+    /// live for a few microseconds, so the regular 20 µs timeout sweep
+    /// would alias with session lifetimes and sample an empty table. The
+    /// finer cadence only affects faulted runs (timeout eviction still
+    /// honours the configured timeout threshold).
+    pub fn with_fault_seed(mut self, seed: u64) -> CaisLogic {
+        if self.merge.entry_fault_rate() > 0.0 {
+            self.fault_rng = Some(JitterRng::seed_from(seed ^ 0x03A8_1E57_CA15_FA17));
+            self.sweep_interval = self.sweep_interval.min(SimDuration::from_us(1));
+        }
+        self
     }
 
     /// Overrides expected participants for specific groups.
@@ -186,6 +210,9 @@ impl SwitchLogic<Msg> for CaisLogic {
         let plane = PlaneId(key as u16);
         self.timer_armed.remove(&plane);
         let mut out = std::mem::take(&mut self.scratch);
+        if let Some(rng) = &mut self.fault_rng {
+            self.merge.inject_entry_faults(now, plane, rng, &mut out);
+        }
         let remain = self.merge.sweep(now, plane, &mut out);
         self.apply(&mut out, ctx);
         self.scratch = out;
@@ -212,6 +239,9 @@ impl SwitchLogic<Msg> for CaisLogic {
             ("cais.peak_reduce_bytes".into(), m.peak_reduce_bytes as f64),
             ("cais.peak_load_bytes".into(), m.peak_load_bytes as f64),
             ("cais.mean_spread_us".into(), m.mean_spread().as_us_f64()),
+            ("cais.entry_faults".into(), m.entry_faults as f64),
+            ("cais.degraded_ports".into(), m.degraded_ports as f64),
+            ("cais.degraded_bypasses".into(), m.degraded_bypasses as f64),
             ("cais.sync_releases".into(), self.sync.releases() as f64),
             (
                 "cais.sync_mean_wait_us".into(),
@@ -387,6 +417,70 @@ mod tests {
                 .any(|x| matches!(x.payload, Msg::Reduce { contribs: 1, .. })),
             "timeout eviction flushed the partial"
         );
+    }
+
+    #[test]
+    fn entry_faults_degrade_port_end_to_end() {
+        let n = 8;
+        let mut cfg = MergeConfig::paper_default(n);
+        cfg.entry_fault_rate = 1.0;
+        cfg.degrade_threshold = 1;
+        let mut f = Fabric::new(
+            FabricConfig::default_for(n, 1),
+            CaisLogic::new(n, cfg).with_fault_seed(0xFA17),
+        );
+        let addr = Addr::new(GpuId(0), 0x100);
+        // One partial contribution; the sweep timer's fault pass evicts it.
+        f.inject(
+            SimTime::ZERO,
+            GpuId(1),
+            GpuId(0),
+            PlaneId(0),
+            Msg::Reduce {
+                addr,
+                bytes: 1024,
+                src: GpuId(1),
+                contribs: 1,
+                tile: None,
+                cais: true,
+            },
+        );
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert!(
+            d.iter()
+                .any(|x| matches!(x.payload, Msg::Reduce { contribs: 1, .. })),
+            "fault eviction flushed the partial"
+        );
+        let stats = f.logic().stats();
+        let get = |k: &str| stats.iter().find(|(name, _)| name == k).unwrap().1;
+        assert!(get("cais.entry_faults") >= 1.0);
+        assert_eq!(get("cais.degraded_ports"), 1.0);
+        // The degraded port now forwards contributions unmerged.
+        f.inject(
+            f.now(),
+            GpuId(2),
+            GpuId(0),
+            PlaneId(0),
+            Msg::Reduce {
+                addr: Addr::new(GpuId(0), 0x200),
+                bytes: 1024,
+                src: GpuId(2),
+                contribs: 1,
+                tile: None,
+                cais: true,
+            },
+        );
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert!(
+            d.iter()
+                .any(|x| matches!(x.payload, Msg::Reduce { contribs: 1, .. })),
+            "bypassed contribution still reaches the home GPU"
+        );
+        let stats = f.logic().stats();
+        let get = |k: &str| stats.iter().find(|(name, _)| name == k).unwrap().1;
+        assert!(get("cais.degraded_bypasses") >= 1.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! and `Reduction` (partial sum accumulating). LRU eviction and a
 //! timeout-based forward-progress mechanism bound the table.
 
+use sim_core::rng::JitterRng;
 use sim_core::{Addr, FastHash, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
 use std::collections::{BTreeMap, HashMap};
 
@@ -36,6 +37,13 @@ pub struct MergeConfig {
     pub entry_overhead_bytes: u64,
     /// Idle time after which an entry is evicted for forward progress.
     pub timeout: SimDuration,
+    /// Per-entry SRAM fault probability at each sweep tick (see
+    /// [`MergeUnit::inject_entry_faults`]); `0.0` disables injection and
+    /// leaves every result byte-identical to a fault-free run.
+    pub entry_fault_rate: f64,
+    /// After this many entry faults on one port, the port degrades to the
+    /// unmerged NVLS-style forwarding path instead of merging.
+    pub degrade_threshold: u32,
 }
 
 impl MergeConfig {
@@ -47,6 +55,8 @@ impl MergeConfig {
             table_bytes_per_port: Some(40 * 1024),
             entry_overhead_bytes: 16,
             timeout: SimDuration::from_us(30),
+            entry_fault_rate: 0.0,
+            degrade_threshold: 8,
         }
     }
 }
@@ -81,6 +91,12 @@ pub struct MergeStats {
     pub spread_sum_ps: u128,
     /// Number of sessions contributing to `spread_sum_ps`.
     pub spread_count: u64,
+    /// Injected merge-table entry faults.
+    pub entry_faults: u64,
+    /// Ports degraded to the unmerged path by fault pressure.
+    pub degraded_ports: u64,
+    /// Requests forwarded unmerged because their port was degraded.
+    pub degraded_bypasses: u64,
 }
 
 impl MergeStats {
@@ -171,6 +187,13 @@ struct Port {
     /// stalling until the timeout). Metadata-only (a few bytes per
     /// address); removed once the address completes.
     history: HashMap<Addr, u32, FastHash>,
+    /// Cumulative injected entry faults on this port.
+    faults: u32,
+    /// Fault pressure crossed the configured threshold: the port stops
+    /// opening merge sessions and forwards requests unmerged (the
+    /// NVLS-style path) so traffic keeps flowing instead of stalling on
+    /// an unreliable table.
+    degraded: bool,
 }
 
 /// The merge unit shared by all ports of all planes (state is
@@ -204,6 +227,12 @@ impl MergeUnit {
     /// Run statistics.
     pub fn stats(&self) -> &MergeStats {
         &self.stats
+    }
+
+    /// Configured per-entry fault probability (used by callers to decide
+    /// whether to seed a fault RNG at all).
+    pub fn entry_fault_rate(&self) -> f64 {
+        self.cfg.entry_fault_rate
     }
 
     /// True if any session is open (drives timer scheduling).
@@ -272,6 +301,19 @@ impl MergeUnit {
                     });
                 }
             }
+            return;
+        }
+
+        // Degraded port: graceful NVLS-style fallback — forward unmerged,
+        // never open a session (existing sessions drain normally above).
+        if port.degraded {
+            self.stats.degraded_bypasses += 1;
+            self.stats.loads_forwarded += 1;
+            out.push(MergeAction::ForwardLoad {
+                waiter,
+                addr,
+                bytes,
+            });
             return;
         }
 
@@ -439,6 +481,21 @@ impl MergeUnit {
             return;
         }
 
+        // Degraded port: flush the contribution straight through and
+        // return the credit, exactly like an unmergeable bypass.
+        if port.degraded {
+            self.stats.degraded_bypasses += 1;
+            self.stats.reduce_flushes += 1;
+            out.push(MergeAction::FlushReduce {
+                addr,
+                bytes,
+                contribs,
+                tile,
+            });
+            out.push(MergeAction::GrantCredit { gpu: src });
+            return;
+        }
+
         let need = self.cfg.entry_overhead_bytes + bytes;
         if !Self::make_room(&self.cfg, &mut self.stats, port, need, out) {
             self.stats.bypasses += 1;
@@ -533,6 +590,68 @@ impl MergeUnit {
                 !matches!(e.kind, SessionKind::LoadWait { .. })
                     || now.saturating_since(e.last_access) <= timeout
             })
+    }
+
+    /// Injects SRAM entry faults on `plane`'s ports: each resident entry
+    /// faults independently with probability `cfg.entry_fault_rate` per
+    /// call (the caller invokes this once per sweep tick). Addresses are
+    /// visited in sorted order per port and ports in `BTreeMap` order, so
+    /// a given RNG stream produces a host-independent fault timeline.
+    ///
+    /// A faulted entry takes the normal eviction path (partial reductions
+    /// flush, credits return, progress is recorded). A faulted Load-Wait
+    /// session additionally re-forwards every queued waiter first — the
+    /// in-flight fetch can no longer be matched to the lost entry, so each
+    /// waiter refetches and the passthrough responses retire the address.
+    ///
+    /// When a port's cumulative fault count reaches
+    /// `cfg.degrade_threshold`, the port permanently degrades to the
+    /// unmerged NVLS-style forwarding path for all future sessions.
+    pub fn inject_entry_faults(
+        &mut self,
+        _now: SimTime,
+        plane: PlaneId,
+        rng: &mut JitterRng,
+        out: &mut Vec<MergeAction>,
+    ) {
+        let rate = self.cfg.entry_fault_rate;
+        if rate <= 0.0 {
+            return;
+        }
+        let threshold = self.cfg.degrade_threshold;
+        for port in self
+            .ports
+            .iter_mut()
+            .filter(|((pl, _), _)| *pl == plane)
+            .map(|(_, p)| p)
+        {
+            let mut addrs: Vec<Addr> = port.entries.keys().copied().collect();
+            addrs.sort_unstable();
+            for addr in addrs {
+                if rng.next_f64() >= rate {
+                    continue;
+                }
+                self.stats.entry_faults += 1;
+                port.faults += 1;
+                let entry = port.entries.get_mut(&addr).expect("resident entry");
+                if let SessionKind::LoadWait { waiters } = &mut entry.kind {
+                    let bytes = entry.bytes;
+                    for w in std::mem::take(waiters) {
+                        self.stats.loads_forwarded += 1;
+                        out.push(MergeAction::ForwardLoad {
+                            waiter: w,
+                            addr,
+                            bytes,
+                        });
+                    }
+                }
+                Self::evict_one(&mut self.stats, port, addr, out);
+                if port.faults >= threshold && !port.degraded {
+                    port.degraded = true;
+                    self.stats.degraded_ports += 1;
+                }
+            }
+        }
     }
 
     /// Frees space on `port` until `need` bytes fit; returns `false` when
@@ -632,6 +751,19 @@ mod tests {
             table_bytes_per_port: cap,
             entry_overhead_bytes: 16,
             timeout: SimDuration::from_us(100),
+            entry_fault_rate: 0.0,
+            degrade_threshold: 4,
+        })
+    }
+
+    fn faulty_unit(n: usize, rate: f64, threshold: u32) -> MergeUnit {
+        MergeUnit::new(MergeConfig {
+            n_gpus: n,
+            table_bytes_per_port: None,
+            entry_overhead_bytes: 16,
+            timeout: SimDuration::from_us(100),
+            entry_fault_rate: rate,
+            degrade_threshold: threshold,
         })
     }
 
@@ -941,6 +1073,117 @@ mod tests {
             1
         );
         assert!(!m.has_entries(), "address fully retired");
+    }
+
+    #[test]
+    fn entry_fault_refetches_load_waiters() {
+        // Two queued waiters lose their session to an SRAM fault: both are
+        // re-forwarded, the entry is gone, and the recorded progress lets
+        // the third requester finish the address.
+        let mut m = faulty_unit(4, 1.0, 100);
+        let addr = Addr::new(GpuId(3), 0x1000);
+        let mut out = Vec::new();
+        m.on_load_req(t(1), PLANE, addr, 4096, waiter(0), &mut out);
+        m.on_load_req(t(2), PLANE, addr, 4096, waiter(1), &mut out);
+        out.clear();
+        let mut rng = JitterRng::seed_from(7);
+        m.inject_entry_faults(t(3), PLANE, &mut rng, &mut out);
+        assert_eq!(m.stats().entry_faults, 1);
+        assert_eq!(
+            out.iter()
+                .filter(|a| matches!(a, MergeAction::ForwardLoad { .. }))
+                .count(),
+            2,
+            "both waiters refetch"
+        );
+        assert!(!m.has_entries(), "faulted entry evicted");
+        // The in-flight (now orphaned) response passes through untouched.
+        out.clear();
+        assert!(!m.on_load_resp(t(4), PLANE, addr, 4096, &mut out));
+        // The last requester completes the address via the history record.
+        m.on_load_req(t(5), PLANE, addr, 4096, waiter(2), &mut out);
+        assert!(m.on_load_resp(t(6), PLANE, addr, 4096, &mut out));
+        assert!(!m.has_entries(), "address fully retired");
+    }
+
+    #[test]
+    fn entry_fault_flushes_partial_reduction() {
+        let mut m = faulty_unit(4, 1.0, 100);
+        let addr = Addr::new(GpuId(0), 0x2000);
+        let mut out = Vec::new();
+        m.on_reduce(
+            t(1),
+            PLANE,
+            addr,
+            2048,
+            GpuId(1),
+            1,
+            Some(TileId(3)),
+            &mut out,
+        );
+        out.clear();
+        let mut rng = JitterRng::seed_from(7);
+        m.inject_entry_faults(t(2), PLANE, &mut rng, &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, MergeAction::FlushReduce { contribs: 1, .. })),
+            "partial flushed on fault"
+        );
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, MergeAction::GrantCredit { gpu: GpuId(1) })),
+            "credit returned on fault"
+        );
+        assert!(!m.has_entries());
+    }
+
+    #[test]
+    fn fault_pressure_degrades_port_to_unmerged_path() {
+        // Threshold 2: after two entry faults the port stops merging.
+        let mut m = faulty_unit(4, 1.0, 2);
+        let a1 = Addr::new(GpuId(0), 0x1000);
+        let a2 = Addr::new(GpuId(0), 0x2000);
+        let mut out = Vec::new();
+        m.on_reduce(t(1), PLANE, a1, 1024, GpuId(1), 1, None, &mut out);
+        m.on_reduce(t(1), PLANE, a2, 1024, GpuId(2), 1, None, &mut out);
+        let mut rng = JitterRng::seed_from(7);
+        m.inject_entry_faults(t(2), PLANE, &mut rng, &mut out);
+        assert_eq!(m.stats().entry_faults, 2);
+        assert_eq!(m.stats().degraded_ports, 1);
+        // New reduce contributions flush straight through with a credit.
+        out.clear();
+        m.on_reduce(t(3), PLANE, a1, 1024, GpuId(3), 1, None, &mut out);
+        assert!(matches!(
+            out[0],
+            MergeAction::FlushReduce { contribs: 1, .. }
+        ));
+        assert!(matches!(out[1], MergeAction::GrantCredit { gpu: GpuId(3) }));
+        // New loads forward unmerged without opening a session.
+        out.clear();
+        m.on_load_req(t(4), PLANE, a2, 4096, waiter(1), &mut out);
+        assert!(matches!(out[0], MergeAction::ForwardLoad { .. }));
+        assert!(!m.has_entries(), "degraded port opens no sessions");
+        assert_eq!(m.stats().degraded_bypasses, 2);
+        // Other ports are unaffected: a different home GPU still merges.
+        out.clear();
+        let other = Addr::new(GpuId(1), 0x100);
+        m.on_load_req(t(5), PLANE, other, 4096, waiter(2), &mut out);
+        assert!(m.has_entries(), "healthy port still opens sessions");
+    }
+
+    #[test]
+    fn zero_fault_rate_injection_is_a_no_op() {
+        let mut m = unit(4, None);
+        let addr = Addr::new(GpuId(0), 0x100);
+        let mut out = Vec::new();
+        m.on_reduce(t(1), PLANE, addr, 1024, GpuId(1), 1, None, &mut out);
+        let mut rng = JitterRng::seed_from(7);
+        let before = rng.next_u64();
+        let mut rng = JitterRng::seed_from(7);
+        m.inject_entry_faults(t(2), PLANE, &mut rng, &mut out);
+        assert_eq!(m.stats().entry_faults, 0);
+        assert!(m.has_entries(), "entry untouched");
+        assert_eq!(rng.next_u64(), before, "no RNG draws at rate 0");
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub const DEFAULT_PACKET_BYTES: u64 = 8 * 1024;
 ///
 /// let cfg = SystemConfig::dgx_h100();
 /// let dfg = sublayer(&ModelConfig::llama_7b(), cfg.tp(), SubLayer::L1);
-/// let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+/// let report = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
 /// println!("end-to-end: {}", report.total);
 /// ```
 #[derive(Debug)]
@@ -292,15 +292,22 @@ impl Strategy for CaisStrategy {
     }
 
     fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>> {
+        let (entry_fault_rate, degrade_threshold) = match &cfg.faults.merge_faults {
+            Some(mf) => (mf.rate, mf.degrade_threshold),
+            None => (0.0, u32::MAX),
+        };
         let merge_cfg = MergeConfig {
             n_gpus: cfg.n_gpus,
             table_bytes_per_port: self.merge_table_capacity(),
             entry_overhead_bytes: 16,
             timeout: self.timeout,
+            entry_fault_rate,
+            degrade_threshold,
         };
         Box::new(
             CaisLogic::new(cfg.n_gpus, merge_cfg)
-                .with_group_expected(self.group_expected.borrow().clone()),
+                .with_group_expected(self.group_expected.borrow().clone())
+                .with_fault_seed(cfg.faults.seed),
         )
     }
 }
@@ -904,7 +911,7 @@ mod tests {
     fn full_cais_runs_a_sublayer() {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-        let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+        let report = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
         assert!(report.total > SimDuration::from_us(10));
         // Merging happened.
         assert!(report.stat("cais.loads_merged").unwrap_or(0.0) > 0.0);
@@ -917,8 +924,8 @@ mod tests {
     fn base_is_slower_than_full() {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-        let full = execute(&CaisStrategy::full(), &dfg, &cfg);
-        let base = execute(&CaisStrategy::base(), &dfg, &cfg);
+        let full = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
+        let base = execute(&CaisStrategy::base(), &dfg, &cfg).expect("run completes");
         assert!(
             base.total > full.total,
             "base {} vs full {}",
@@ -931,8 +938,10 @@ mod tests {
     fn coordination_reduces_request_spread() {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-        let coord = execute(&CaisStrategy::full().with_merge_table(None), &dfg, &cfg);
-        let uncoord = execute(&CaisStrategy::base().with_merge_table(None), &dfg, &cfg);
+        let coord = execute(&CaisStrategy::full().with_merge_table(None), &dfg, &cfg)
+            .expect("run completes");
+        let uncoord = execute(&CaisStrategy::base().with_merge_table(None), &dfg, &cfg)
+            .expect("run completes");
         let s_coord = coord.mean_request_spread.expect("spread recorded");
         let s_uncoord = uncoord.mean_request_spread.expect("spread recorded");
         assert!(
@@ -945,11 +954,34 @@ mod tests {
     fn merged_loads_cut_traffic_vs_unmerged_count() {
         let cfg = small_cfg();
         let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-        let report = execute(&CaisStrategy::full(), &dfg, &cfg);
+        let report = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
         let reqs = report.stat("cais.load_requests").unwrap();
         let merged = report.stat("cais.loads_merged").unwrap();
         // With p=4, up to 2 of every 3 requests merge.
         assert!(merged / reqs > 0.4, "merge ratio too low: {merged}/{reqs}");
+    }
+
+    #[test]
+    fn merge_faults_degrade_gracefully() {
+        // Aggressive entry faults with an instant degrade threshold: the
+        // run must still complete (no deadlock, no stall), with ports
+        // falling back to the unmerged NVLS-style path.
+        let mut cfg = small_cfg();
+        cfg.faults.merge_faults = Some(sim_core::MergeFaultSpec {
+            rate: 1.0,
+            degrade_threshold: 1,
+        });
+        let dfg = sublayer(&small_model(), 4, SubLayer::L1);
+        let report =
+            execute(&CaisStrategy::full(), &dfg, &cfg).expect("degraded run still completes");
+        assert!(
+            report.stat("cais.entry_faults").unwrap_or(0.0) > 0.0,
+            "sweep ticks injected faults"
+        );
+        assert!(
+            report.stat("cais.degraded_ports").unwrap_or(0.0) > 0.0,
+            "fault pressure degraded at least one port"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use gpu_sim::GpuConfig;
 use noc_sim::FabricConfig;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{FaultPlan, SimDuration, SimTime};
 
 /// Configuration of the whole multi-GPU system plus engine knobs.
 #[derive(Debug, Clone)]
@@ -28,9 +28,12 @@ pub struct SystemConfig {
     pub cais_credits_per_plane: Option<usize>,
     /// Master seed for all jitter streams.
     pub seed: u64,
-    /// Hard wall on simulated time; exceeded means deadlock or runaway
-    /// (the engine panics with diagnostics).
+    /// Hard wall on simulated time; exceeding it makes the run fail with
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
     pub deadline: SimTime,
+    /// Fault-injection plan; the default injects nothing and leaves every
+    /// result byte-identical to a fault-free run.
+    pub faults: FaultPlan,
 }
 
 impl SystemConfig {
@@ -49,6 +52,7 @@ impl SystemConfig {
             cais_credits_per_plane: None,
             seed: 0xCA15,
             deadline: SimTime::from_ms(10_000),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -67,6 +71,7 @@ impl SystemConfig {
         let mut f = self.fabric.clone();
         f.n_gpus = self.n_gpus;
         f.n_planes = self.n_planes;
+        f.faults = self.faults.clone();
         f
     }
 

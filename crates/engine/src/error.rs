@@ -1,0 +1,143 @@
+//! Typed simulation failures.
+//!
+//! The engine used to `panic!` on deadlock, deadline overrun and fault
+//! pressure; sweeps could only show an opaque FAILED row. [`SimError`]
+//! carries the same diagnostics as structured data so callers (and sweep
+//! rows) can distinguish a deadlock from a livelock from a run whose
+//! retransmit budget was exhausted by fault injection.
+
+use sim_core::SimTime;
+use std::fmt;
+
+/// Diagnostics packaged with a deadlock: what was stuck and where.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockDiag {
+    /// Kernels that never completed.
+    pub kernels_remaining: usize,
+    /// TBs blocked in the engine's tile/load wait tables.
+    pub engine_blocked_tbs: usize,
+    /// Per-(GPU, group) pre-access sync waiters, as `gpu/group:count`.
+    pub preaccess_waiters: Vec<String>,
+    /// CAIS requests still queued behind throttle credits.
+    pub throttle_queued: usize,
+    /// Unlaunched / incomplete kernels (truncated).
+    pub kernels: Vec<String>,
+    /// Blocked TBs still registered at quiescence (truncated; only set for
+    /// the all-kernels-done-but-TBs-blocked variant).
+    pub blocked_tbs: Vec<String>,
+}
+
+/// Why a simulation run failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// No pending events while work remains: the program can never finish.
+    Deadlock(DeadlockDiag),
+    /// Simulated time passed the configured deadline: runaway or livelock.
+    DeadlineExceeded {
+        /// The configured hard wall.
+        deadline: SimTime,
+        /// Simulation time when the wall was hit.
+        now: SimTime,
+        /// Kernels that had not completed yet.
+        kernels_remaining: usize,
+    },
+    /// Fault injection dropped some packet more times than the retransmit
+    /// budget allows; the run completed via force-delivery but its results
+    /// model data loss and must not be trusted.
+    FaultBudgetExhausted {
+        /// Packets that ran out of retransmit budget.
+        exhausted: u64,
+        /// Total packet drops over the run.
+        drops: u64,
+        /// Total retransmissions over the run.
+        retries: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(d) => {
+                if d.kernels_remaining > 0 {
+                    write!(
+                        f,
+                        "deadlock: {} kernels never completed; engine-blocked TBs {}, \
+                         pre-access waiters {:?}, throttle-queued {}; kernels: {:?}",
+                        d.kernels_remaining,
+                        d.engine_blocked_tbs,
+                        d.preaccess_waiters,
+                        d.throttle_queued,
+                        d.kernels,
+                    )
+                } else {
+                    write!(
+                        f,
+                        "deadlock: TBs still blocked at quiescence: {:?}",
+                        d.blocked_tbs
+                    )
+                }
+            }
+            SimError::DeadlineExceeded {
+                deadline,
+                now,
+                kernels_remaining,
+            } => write!(
+                f,
+                "deadline exceeded: simulation passed {deadline} (now {now}) with \
+                 {kernels_remaining} kernels remaining; runaway or livelock"
+            ),
+            SimError::FaultBudgetExhausted {
+                exhausted,
+                drops,
+                retries,
+            } => write!(
+                f,
+                "fault budget exhausted: {exhausted} packets exceeded their retransmit \
+                 budget ({drops} drops, {retries} retries); results model data loss"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_variants() {
+        let dl = SimError::Deadlock(DeadlockDiag {
+            kernels_remaining: 2,
+            engine_blocked_tbs: 5,
+            preaccess_waiters: vec!["g0/grp1:3".into()],
+            throttle_queued: 1,
+            kernels: vec!["incomplete k0".into()],
+            blocked_tbs: vec![],
+        });
+        let s = dl.to_string();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("2 kernels"));
+        assert!(s.contains("g0/grp1:3"));
+
+        let quiesce = SimError::Deadlock(DeadlockDiag {
+            blocked_tbs: vec!["tb3".into()],
+            ..DeadlockDiag::default()
+        });
+        assert!(quiesce.to_string().contains("quiescence"));
+
+        let dead = SimError::DeadlineExceeded {
+            deadline: SimTime::from_ms(10),
+            now: SimTime::from_ms(11),
+            kernels_remaining: 1,
+        };
+        assert!(dead.to_string().contains("deadline exceeded"));
+
+        let fault = SimError::FaultBudgetExhausted {
+            exhausted: 3,
+            drops: 30,
+            retries: 27,
+        };
+        assert!(fault.to_string().contains("fault budget exhausted"));
+    }
+}

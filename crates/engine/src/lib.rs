@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod ids;
 pub mod lower;
 pub mod msg;
@@ -34,6 +35,7 @@ pub mod strategy;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use error::{DeadlockDiag, SimError};
 pub use ids::IdAlloc;
 pub use lower::{GemmLowering, Tiling};
 pub use msg::Msg;

@@ -1,6 +1,7 @@
 //! The execution-strategy interface.
 
 use crate::config::SystemConfig;
+use crate::error::SimError;
 use crate::msg::Msg;
 use crate::program::Program;
 use crate::report::ExecReport;
@@ -36,7 +37,16 @@ pub trait Strategy: Send {
 /// Lowers and executes `dfg` under `strategy`, returning the report.
 ///
 /// This is the single entry point the experiment harness uses.
-pub fn execute(strategy: &dyn Strategy, dfg: &Dfg, base_cfg: &SystemConfig) -> ExecReport {
+///
+/// # Errors
+///
+/// Returns the typed [`SimError`] from [`SystemSim::run`] — deadlock,
+/// deadline overrun, or fault-budget exhaustion — instead of panicking.
+pub fn execute(
+    strategy: &dyn Strategy,
+    dfg: &Dfg,
+    base_cfg: &SystemConfig,
+) -> Result<ExecReport, SimError> {
     let mut cfg = base_cfg.clone();
     strategy.tune(&mut cfg);
     let program = strategy.lower(dfg, &cfg);

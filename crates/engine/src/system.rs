@@ -1,6 +1,7 @@
 //! The multi-GPU system co-simulator.
 
 use crate::config::SystemConfig;
+use crate::error::{DeadlockDiag, SimError};
 use crate::msg::Msg;
 use crate::program::Program;
 use crate::report::{ExecReport, KernelSpan};
@@ -91,10 +92,13 @@ impl SystemSim {
 
         let gpus: Vec<GpuSim> = (0..cfg.n_gpus)
             .map(|i| {
-                GpuSim::new(
-                    cfg.gpu.clone(),
-                    cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678),
-                )
+                let mut gpu_cfg = cfg.gpu.clone();
+                if let Some(s) = &cfg.faults.straggler {
+                    if s.gpu == i {
+                        gpu_cfg.compute_scale = s.compute_factor;
+                    }
+                }
+                GpuSim::new(gpu_cfg, cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678))
             })
             .collect();
         let fabric = Fabric::new(cfg.fabric_config(), logic);
@@ -210,11 +214,14 @@ impl SystemSim {
 
     /// Runs the program to completion and full network quiescence.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on deadlock (no pending events while kernels remain) or when
-    /// the configured deadline is exceeded.
-    pub fn run(mut self) -> ExecReport {
+    /// Returns [`SimError::Deadlock`] when no pending events remain while
+    /// work does, [`SimError::DeadlineExceeded`] when simulated time passes
+    /// the configured deadline, and [`SimError::FaultBudgetExhausted`] when
+    /// fault injection force-delivered packets past their retransmit
+    /// budget.
+    pub fn run(mut self) -> Result<ExecReport, SimError> {
         let roots: Vec<usize> = self
             .dep_remaining
             .iter()
@@ -229,12 +236,13 @@ impl SystemSim {
             self.drain_effects();
             let next = self.next_event_time();
             let Some(t) = next else { break };
-            assert!(
-                t <= self.cfg.deadline,
-                "simulation exceeded deadline {} (now {}); runaway or livelock",
-                self.cfg.deadline,
-                self.now
-            );
+            if t > self.cfg.deadline {
+                return Err(SimError::DeadlineExceeded {
+                    deadline: self.cfg.deadline,
+                    now: self.now,
+                    kernels_remaining: self.kernels_remaining,
+                });
+            }
             for gpu in &mut self.gpus {
                 gpu.advance(t);
             }
@@ -761,7 +769,19 @@ impl SystemSim {
 
     // ---- teardown --------------------------------------------------------
 
-    fn finish(self) -> ExecReport {
+    fn finish(self) -> Result<ExecReport, SimError> {
+        // Fault pressure first: a run that only completed because packets
+        // were force-delivered past their retransmit budget is not a valid
+        // result even if every kernel finished.
+        if let Some(c) = self.fabric.resilience_counters() {
+            if c.budget_exhausted > 0 {
+                return Err(SimError::FaultBudgetExhausted {
+                    exhausted: c.budget_exhausted,
+                    drops: c.drops,
+                    retries: c.retries,
+                });
+            }
+        }
         if self.kernels_remaining > 0 {
             let incomplete: Vec<String> = self
                 .pending_kernels
@@ -779,9 +799,8 @@ impl SystemSim {
                 }))
                 .take(12)
                 .collect();
-            let engine_blocked = self.tb_blocked.len();
             let n_groups = self.n_groups.max(1);
-            let preaccess: Vec<_> = self
+            let preaccess: Vec<String> = self
                 .preaccess_blocked
                 .iter()
                 .enumerate()
@@ -793,18 +812,30 @@ impl SystemSim {
                 })
                 .take(8)
                 .collect();
-            let queued: usize = self.throttle.iter().map(|t| t.queue.len()).sum();
-            panic!(
-                "deadlock: {} kernels never completed; engine-blocked TBs {engine_blocked}, \
-                 pre-access waiters {preaccess:?}, throttle-queued {queued}; kernels: {incomplete:?}",
-                self.kernels_remaining,
-            );
+            return Err(SimError::Deadlock(DeadlockDiag {
+                kernels_remaining: self.kernels_remaining,
+                engine_blocked_tbs: self.tb_blocked.len(),
+                preaccess_waiters: preaccess,
+                throttle_queued: self.throttle.iter().map(|t| t.queue.len()).sum(),
+                kernels: incomplete,
+                blocked_tbs: Vec::new(),
+            }));
         }
-        assert!(
-            self.tb_blocked.is_empty(),
-            "deadlock: TBs still blocked at quiescence: {:?}",
-            self.tb_blocked.keys().take(16).collect::<Vec<_>>()
-        );
+        if !self.tb_blocked.is_empty() {
+            return Err(SimError::Deadlock(DeadlockDiag {
+                kernels_remaining: 0,
+                engine_blocked_tbs: self.tb_blocked.len(),
+                preaccess_waiters: Vec::new(),
+                throttle_queued: self.throttle.iter().map(|t| t.queue.len()).sum(),
+                kernels: Vec::new(),
+                blocked_tbs: self
+                    .tb_blocked
+                    .keys()
+                    .take(16)
+                    .map(|tb| tb.to_string())
+                    .collect(),
+            }));
+        }
         let total = self.now.since(SimTime::ZERO);
         let logic_stats = self.fabric.logic().stats();
         let mean_request_spread = logic_stats
@@ -820,7 +851,7 @@ impl SystemSim {
             .chain(std::iter::once(self.fabric.queue_peak()))
             .max()
             .unwrap_or(0);
-        ExecReport {
+        Ok(ExecReport {
             total,
             gpu_occupancy: self.gpus.iter().map(|g| g.occupancy(total)).collect(),
             fabric: self.fabric.report(total),
@@ -830,7 +861,7 @@ impl SystemSim {
             mean_request_spread,
             events_processed,
             queue_peak,
-        }
+        })
     }
 }
 
@@ -854,7 +885,9 @@ mod tests {
     }
 
     fn run(cfg: SystemConfig, program: Program) -> ExecReport {
-        SystemSim::new(cfg, program, Box::new(PureRouter)).run()
+        SystemSim::new(cfg, program, Box::new(PureRouter))
+            .run()
+            .expect("test program must complete")
     }
 
     #[test]
@@ -1078,13 +1111,15 @@ mod tests {
             build(&unthrottled_cfg),
             Box::new(PureRouter),
         )
-        .run();
+        .run()
+        .expect("unthrottled run completes");
         let slow = SystemSim::new(
             throttled_cfg.clone(),
             build(&throttled_cfg),
             Box::new(PureRouter),
         )
-        .run();
+        .run()
+        .expect("throttled run completes");
         // With one credit the two 1 MB responses cannot overlap on the
         // wire, so the throttled run is measurably longer.
         assert!(
@@ -1095,11 +1130,8 @@ mod tests {
         );
     }
 
-    #[test]
-    #[should_panic(expected = "deadlock")]
-    fn missing_tile_deadlocks_with_diagnostics() {
-        let cfg = quiet_cfg(2);
-        let mut ids = IdAlloc::new(2);
+    /// A one-kernel program whose sole TB waits on a tile nobody produces.
+    fn deadlocking_program(ids: &mut IdAlloc) -> Program {
         let tile = ids.tile();
         let tb = TbDesc {
             id: ids.tb(),
@@ -1114,7 +1146,212 @@ mod tests {
             desc: KernelDesc::new(ids.kernel(), "stuck", vec![tb]),
             after: vec![],
         });
-        let _ = run(cfg, p);
+        p
+    }
+
+    #[test]
+    fn missing_tile_returns_deadlock_with_diagnostics() {
+        let cfg = quiet_cfg(2);
+        let mut ids = IdAlloc::new(2);
+        let p = deadlocking_program(&mut ids);
+        let err = SystemSim::new(cfg, p, Box::new(PureRouter))
+            .run()
+            .expect_err("unsatisfiable tile wait must deadlock");
+        match &err {
+            SimError::Deadlock(d) => {
+                assert_eq!(d.kernels_remaining, 1);
+                assert_eq!(d.engine_blocked_tbs, 1);
+                assert!(d.kernels.iter().any(|k| k.contains("stuck")));
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn tiny_deadline_returns_deadline_exceeded() {
+        let mut cfg = quiet_cfg(2);
+        cfg.deadline = SimTime::from_ns(1);
+        let mut ids = IdAlloc::new(2);
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(
+                ids.kernel(),
+                "slow",
+                vec![TbDesc::compute_only(ids.tb(), 0, SimDuration::from_us(50))],
+            ),
+            after: vec![],
+        });
+        let err = SystemSim::new(cfg, p, Box::new(PureRouter))
+            .run()
+            .expect_err("1 ns deadline must be exceeded");
+        match &err {
+            SimError::DeadlineExceeded {
+                deadline,
+                kernels_remaining,
+                ..
+            } => {
+                assert_eq!(*deadline, SimTime::from_ns(1));
+                assert_eq!(*kernels_remaining, 1);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certain_drops_return_fault_budget_exhausted() {
+        let mut cfg = quiet_cfg(2);
+        cfg.faults = cfg.faults.with_drop_rate(1.0);
+        let mut ids = IdAlloc::new(2);
+        let addr = ids.addr(GpuId(1), 4096);
+        let tb = TbDesc {
+            id: ids.tb(),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::IssueMem {
+                ops: vec![MemOp {
+                    kind: MemOpKind::RemoteLoad,
+                    addr,
+                    bytes: 4096,
+                    cais: false,
+                    tile: None,
+                }],
+                wait: true,
+            }],
+        };
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "loader", vec![tb]),
+            after: vec![],
+        });
+        let err = SystemSim::new(cfg, p, Box::new(PureRouter))
+            .run()
+            .expect_err("drop_rate 1.0 must exhaust the retransmit budget");
+        match &err {
+            SimError::FaultBudgetExhausted {
+                exhausted, drops, ..
+            } => {
+                assert!(*exhausted > 0);
+                assert!(*drops > 0);
+            }
+            other => panic!("expected FaultBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moderate_drop_rate_completes_with_retry_counters() {
+        let mut cfg = quiet_cfg(2);
+        cfg.faults = cfg.faults.with_drop_rate(0.2);
+        let mut ids = IdAlloc::new(2);
+        let addr = ids.addr(GpuId(1), 64 * 1024);
+        let ops: Vec<MemOp> = (0..16)
+            .map(|_| MemOp {
+                kind: MemOpKind::RemoteLoad,
+                addr,
+                bytes: 64 * 1024,
+                cais: false,
+                tile: None,
+            })
+            .collect();
+        let tb = TbDesc {
+            id: ids.tb(),
+            order_key: 0,
+            group: None,
+            pre_launch_sync: false,
+            phases: vec![Phase::IssueMem { ops, wait: true }],
+        };
+        let mut p = Program::new();
+        p.push(PlannedKernel {
+            gpu: GpuId(0),
+            desc: KernelDesc::new(ids.kernel(), "loader", vec![tb]),
+            after: vec![],
+        });
+        let report = run(cfg, p);
+        let c = report.fabric.resilience();
+        assert!(c.drops > 0, "20% loss over 32+ hops must drop something");
+        assert_eq!(c.retries, c.drops + c.corruptions);
+        assert_eq!(c.budget_exhausted, 0);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_no_plan_byte_for_byte() {
+        let mut ids = IdAlloc::new(2);
+        let p = |ids: &mut IdAlloc| {
+            let addr = ids.addr(GpuId(1), 4096);
+            let tb = TbDesc {
+                id: ids.tb(),
+                order_key: 0,
+                group: None,
+                pre_launch_sync: false,
+                phases: vec![
+                    Phase::IssueMem {
+                        ops: vec![MemOp {
+                            kind: MemOpKind::RemoteLoad,
+                            addr,
+                            bytes: 4096,
+                            cais: false,
+                            tile: None,
+                        }],
+                        wait: true,
+                    },
+                    Phase::Compute(SimDuration::from_us(1)),
+                ],
+            };
+            let mut p = Program::new();
+            p.push(PlannedKernel {
+                gpu: GpuId(0),
+                desc: KernelDesc::new(ids.kernel(), "loader", vec![tb]),
+                after: vec![],
+            });
+            p
+        };
+        let base = run(quiet_cfg(2), p(&mut ids));
+        let mut cfg = quiet_cfg(2);
+        // Zero rates with a different fault seed: provably zero-cost.
+        cfg.faults = cfg.faults.with_seed(0x1234_5678);
+        let mut ids2 = IdAlloc::new(2);
+        let faulted = run(cfg, p(&mut ids2));
+        assert_eq!(base.total, faulted.total);
+        assert_eq!(base.events_processed, faulted.events_processed);
+        assert!(faulted.fabric.resilience().is_clean());
+    }
+
+    #[test]
+    fn straggler_slows_the_run() {
+        let build = |ids: &mut IdAlloc| {
+            let mut p = Program::new();
+            for g in 0..2u16 {
+                p.push(PlannedKernel {
+                    gpu: GpuId(g),
+                    desc: KernelDesc::new(
+                        ids.kernel(),
+                        format!("work{g}"),
+                        vec![TbDesc::compute_only(ids.tb(), 0, SimDuration::from_us(40))],
+                    ),
+                    after: vec![],
+                });
+            }
+            p
+        };
+        let mut ids = IdAlloc::new(2);
+        let base = run(quiet_cfg(2), build(&mut ids));
+        let mut cfg = quiet_cfg(2);
+        cfg.faults = cfg.faults.with_straggler(sim_core::StragglerSpec {
+            gpu: 1,
+            compute_factor: 2.0,
+        });
+        let mut ids2 = IdAlloc::new(2);
+        let slow = run(cfg, build(&mut ids2));
+        // GPU 1's 40 us compute doubles; end-to-end must grow by ~40 us.
+        assert!(
+            slow.total > base.total + SimDuration::from_us(30),
+            "straggler {} vs base {}",
+            slow.total,
+            base.total
+        );
     }
 
     #[test]

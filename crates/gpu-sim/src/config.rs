@@ -48,6 +48,10 @@ pub struct GpuConfig {
     pub compute_jitter: SimDuration,
     /// Ready-queue ordering policy.
     pub ready_policy: ReadyPolicy,
+    /// Compute-phase duration multiplier; `1.0` (the default) is bit-exact
+    /// with no scaling. Set above `1.0` by the fault plan's straggler spec
+    /// to model one GPU running slow (thermal throttling, clock skew).
+    pub compute_scale: f64,
 }
 
 impl GpuConfig {
@@ -64,6 +68,7 @@ impl GpuConfig {
             launch_skew: SimDuration::from_us(25),
             compute_jitter: SimDuration::from_us(2),
             ready_policy: ReadyPolicy::Fifo,
+            compute_scale: 1.0,
         }
     }
 

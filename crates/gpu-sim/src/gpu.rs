@@ -491,6 +491,11 @@ impl GpuSim {
             let phase = rt.desc.phases[phase_idx].clone();
             match phase {
                 Phase::Compute(d) => {
+                    let d = if self.cfg.compute_scale == 1.0 {
+                        d
+                    } else {
+                        SimDuration::from_ps((d.as_ps() as f64 * self.cfg.compute_scale) as u64)
+                    };
                     let jitter = self.rng.jitter(self.cfg.compute_jitter);
                     self.queue.push(now + d + jitter, GpuEvent::PhaseDone(tb));
                     return;

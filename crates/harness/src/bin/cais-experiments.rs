@@ -1,46 +1,53 @@
 //! CLI to regenerate the paper's tables and figures.
 //!
 //! ```text
-//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|all] [--smoke] [--jobs N]
+//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|sensitivity|resilience|all]
+//!                  [--smoke] [--jobs N] [--timeout-secs N]
 //! ```
 //!
 //! `--jobs N` bounds the sweep worker pool (default: the host's
 //! available parallelism). The printed tables are byte-identical at
 //! every worker count; timing diagnostics go to stderr. A simulation
-//! that panics becomes a FAILED line (and NaN cells) in its table, and
-//! the process exits with status 1.
+//! that returns a typed error or panics becomes a FAILED line (and NaN
+//! cells) in its table; `--timeout-secs N` arms a per-job wall-clock
+//! watchdog whose victims become TIMEOUT lines instead. Either makes the
+//! process exit with status 1.
 
 use cais_harness::{runner::Scale, sweep, Table};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-fn parse_jobs(args: &[String]) -> usize {
+/// Extracts the value of `--<name> N` / `--<name>=N` as a positive
+/// integer, exiting with status 2 on a malformed value.
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    let bad = || -> ! {
+        eprintln!("--{name} needs a positive integer");
+        std::process::exit(2);
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
-            return it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("--jobs needs a positive integer");
-                    std::process::exit(2);
-                });
+        if a == &format!("--{name}") {
+            return Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| bad()),
+            );
         }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
-                eprintln!("--jobs needs a positive integer");
-                std::process::exit(2);
-            });
+        if let Some(v) = a.strip_prefix(&format!("--{name}=")) {
+            return Some(v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| bad()));
         }
     }
-    sweep::default_jobs()
+    None
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Paper };
-    let jobs = parse_jobs(&args);
+    let jobs = parse_flag(&args, "jobs")
+        .map(|n| n as usize)
+        .unwrap_or_else(sweep::default_jobs);
+    sweep::set_job_timeout(parse_flag(&args, "timeout-secs").map(Duration::from_secs));
     let mut skip_next = false;
     let which: Vec<&str> = args
         .iter()
@@ -49,7 +56,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--jobs" {
+            if *a == "--jobs" || *a == "--timeout-secs" {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -73,16 +80,19 @@ fn main() {
         ("area", cais_harness::area::run),
         ("ablations", cais_harness::ablations::run),
         ("sensitivity", cais_harness::sensitivity::run),
+        ("resilience", cais_harness::resilience::run),
     ];
 
     let run_all = which.contains(&"all");
     let mut ran = 0;
     let mut failed = 0usize;
+    let mut timed_out = 0usize;
     for (name, f) in &experiments {
         if run_all || which.contains(name) {
             let t0 = Instant::now();
             for table in f(scale, jobs) {
                 failed += table.failures.len();
+                timed_out += table.timeouts.len();
                 println!("{}", table.render());
             }
             eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
@@ -100,8 +110,10 @@ fn main() {
         );
         std::process::exit(2);
     }
-    if failed > 0 {
-        eprintln!("{failed} sweep job(s) failed; see FAILED lines above");
+    if failed > 0 || timed_out > 0 {
+        eprintln!(
+            "{failed} sweep job(s) failed, {timed_out} timed out; see FAILED/TIMEOUT lines above"
+        );
         std::process::exit(1);
     }
 }

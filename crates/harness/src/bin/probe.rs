@@ -60,7 +60,9 @@ fn main() {
         Box::new(CaisStrategy::full()),
     ];
     for s in &strategies {
-        let r = execute(s.as_ref(), &dfg, &cfg);
-        dump(s.name(), &r);
+        match execute(s.as_ref(), &dfg, &cfg) {
+            Ok(r) => dump(s.name(), &r),
+            Err(e) => eprintln!("--- {} --- run failed: {e}", s.name()),
+        }
     }
 }

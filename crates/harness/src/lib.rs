@@ -20,6 +20,7 @@
 //! | [`area`] | Sec. V-D — hardware overhead |
 //! | [`ablations`] | extra design-choice sensitivity studies (packet size, credits, cross-layer fusion) |
 //! | [`sensitivity`] | fabric-bandwidth sweep validating the calibration story |
+//! | [`resilience`] | robustness study — packet-drop/retransmission and link-degradation sweeps |
 //!
 //! Run everything from the CLI: `cargo run --release --bin cais-experiments -- all`.
 //! Pass `--smoke` for reduced sizes (used by the test suite) and
@@ -39,6 +40,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod resilience;
 pub mod runner;
 pub mod sensitivity;
 pub mod sweep;

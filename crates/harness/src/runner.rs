@@ -3,7 +3,7 @@
 use crate::sweep::{JobResult, SweepJob};
 use cais_baselines::{BaselineStrategy, LadmStrategy};
 use cais_core::CaisStrategy;
-use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
+use cais_engine::{strategy::execute, ExecReport, SimError, Strategy, SystemConfig};
 use llm_workload::{transformer_layer, Dfg, ModelConfig, Pass, TpMode};
 use std::fmt::Write as _;
 
@@ -55,10 +55,14 @@ pub struct Table {
     pub rows: Vec<(String, Vec<f64>)>,
     /// Free-form notes (paper reference values, caveats).
     pub notes: String,
-    /// Sweep jobs that panicked instead of producing a report
-    /// ("label: panic message"). Rows derived from a failed job carry
-    /// NaN cells; the CLI exits nonzero when any table has failures.
+    /// Sweep jobs that returned a typed [`SimError`] or panicked
+    /// ("label: message"). Rows derived from a failed job carry NaN
+    /// cells; the CLI exits nonzero when any table has failures.
     pub failures: Vec<String>,
+    /// Sweep jobs killed by the per-job wall-clock watchdog, rendered
+    /// separately from failures so a hung run is distinguishable from a
+    /// diverged one. Also makes the CLI exit nonzero.
+    pub timeouts: Vec<String>,
 }
 
 impl Table {
@@ -71,16 +75,22 @@ impl Table {
             rows: Vec::new(),
             notes: String::new(),
             failures: Vec::new(),
+            timeouts: Vec::new(),
         }
     }
 
     /// Records every failed job from a sweep batch so the rendered table
-    /// explains its NaN cells. Results are scanned in manifest order, so
-    /// the failure list is as deterministic as the rows.
+    /// explains its NaN cells, routing watchdog timeouts to their own
+    /// section. Results are scanned in manifest order, so both lists are
+    /// as deterministic as the rows.
     pub fn absorb_failures(&mut self, results: &[JobResult]) {
         for r in results {
-            if let Some(msg) = r.failure() {
-                self.failures.push(format!("{}: {msg}", r.label));
+            if let Some(f) = r.failure() {
+                let line = format!("{}: {}", r.label, f.message);
+                match f.kind {
+                    crate::sweep::FailKind::Timeout => self.timeouts.push(line),
+                    crate::sweep::FailKind::Failed => self.failures.push(line),
+                }
             }
         }
     }
@@ -131,6 +141,9 @@ impl Table {
         for f in &self.failures {
             let _ = writeln!(out, "  FAILED {f}");
         }
+        for t in &self.timeouts {
+            let _ = writeln!(out, "  TIMEOUT {t}");
+        }
         if !self.notes.is_empty() {
             let _ = writeln!(out, "  note: {}", self.notes);
         }
@@ -176,19 +189,44 @@ pub fn roster() -> Vec<Entry> {
 }
 
 /// Executes one strategy on a transformer layer of `model`.
-pub fn run_layer(entry: &Entry, model: &ModelConfig, cfg: &SystemConfig, pass: Pass) -> ExecReport {
+///
+/// # Errors
+///
+/// Propagates the run's typed [`SimError`].
+pub fn run_layer(
+    entry: &Entry,
+    model: &ModelConfig,
+    cfg: &SystemConfig,
+    pass: Pass,
+) -> Result<ExecReport, SimError> {
     let dfg = transformer_layer(model, cfg.tp(), entry.mode, pass);
     execute(entry.strategy.as_ref(), &dfg, cfg)
 }
 
 /// Executes one strategy on an arbitrary graph.
-pub fn run_graph(entry: &Entry, dfg: &Dfg, cfg: &SystemConfig) -> ExecReport {
+///
+/// # Errors
+///
+/// Propagates the run's typed [`SimError`].
+pub fn run_graph(entry: &Entry, dfg: &Dfg, cfg: &SystemConfig) -> Result<ExecReport, SimError> {
     execute(entry.strategy.as_ref(), dfg, cfg)
 }
 
 /// Display name of roster entry `si`.
+///
+/// # Panics
+///
+/// Panics with a descriptive message if `si` is out of roster range (a
+/// manifest-construction bug, not a runtime condition).
 pub fn roster_name(si: usize) -> String {
-    roster()[si].strategy.name().to_string()
+    let r = roster();
+    let n = r.len();
+    r.into_iter()
+        .nth(si)
+        .unwrap_or_else(|| panic!("roster index {si} out of range (roster has {n} entries)"))
+        .strategy
+        .name()
+        .to_string()
 }
 
 /// A sweep job running roster entry `si` on one transformer layer of

@@ -11,10 +11,11 @@
 //!   [`SystemSim`](cais_engine::SystemSim) on the worker thread, so
 //!   interior mutability inside strategies (e.g. `CaisStrategy`'s
 //!   lowering cache) never crosses threads.
-//! * **Panic isolation.** Each job runs under
-//!   [`std::panic::catch_unwind`]; a diverging simulation (deadlock
-//!   panic, deadline overrun) becomes a failed result carrying the
-//!   panic message instead of aborting the whole binary.
+//! * **Failure isolation.** A job that returns a typed
+//!   [`SimError`](cais_engine::SimError), panics, or exceeds the optional
+//!   per-job wall-clock watchdog ([`set_job_timeout`]) becomes a failed
+//!   result carrying a [`JobFailure`] instead of aborting the binary;
+//!   the remaining jobs keep running.
 //! * **Ordered assembly.** Results are stored by manifest index and
 //!   returned in manifest order, so the assembled tables are
 //!   byte-identical regardless of the worker count.
@@ -23,10 +24,10 @@
 //! summarized per figure by [`log_timing`] on stderr, keeping stdout
 //! (the tables) bit-stable across `--jobs` settings.
 
-use cais_engine::ExecReport;
+use cais_engine::{ExecReport, SimError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One independent simulation in a sweep manifest.
@@ -34,7 +35,7 @@ pub struct SweepJob {
     /// Human-readable identity ("mega-gpt-4b/CAIS/inference", ...), used
     /// for failed-row reporting and timing logs.
     pub label: String,
-    run: Box<dyn FnOnce() -> ExecReport + Send>,
+    run: Box<dyn FnOnce() -> Result<ExecReport, SimError> + Send>,
 }
 
 impl SweepJob {
@@ -44,7 +45,7 @@ impl SweepJob {
     /// simulation is confined to the worker thread that claims the job.
     pub fn new(
         label: impl Into<String>,
-        run: impl FnOnce() -> ExecReport + Send + 'static,
+        run: impl FnOnce() -> Result<ExecReport, SimError> + Send + 'static,
     ) -> SweepJob {
         SweepJob {
             label: label.into(),
@@ -61,13 +62,33 @@ impl std::fmt::Debug for SweepJob {
     }
 }
 
+/// How a [`SweepJob`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// The simulation returned a [`SimError`] or panicked.
+    Failed,
+    /// The job exceeded the per-job wall-clock watchdog.
+    Timeout,
+}
+
+/// A failed job's classification plus its human-readable cause.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Failure class (drives separate FAILED / TIMEOUT table sections
+    /// and lets callers treat a hung job differently from a diverged
+    /// one).
+    pub kind: FailKind,
+    /// Typed-error display, panic message, or watchdog description.
+    pub message: String,
+}
+
 /// The outcome of one [`SweepJob`].
 #[derive(Debug)]
 pub struct JobResult {
     /// The job's manifest label.
     pub label: String,
-    /// The report, or the panic message if the simulation diverged.
-    pub outcome: Result<ExecReport, String>,
+    /// The report, or how the simulation failed.
+    pub outcome: Result<ExecReport, JobFailure>,
     /// Wall-clock time the job spent on its worker thread.
     pub wall: Duration,
 }
@@ -88,9 +109,9 @@ impl JobResult {
         self.outcome.as_ref().ok()
     }
 
-    /// The failure message, if the job panicked.
-    pub fn failure(&self) -> Option<&str> {
-        self.outcome.as_ref().err().map(String::as_str)
+    /// The failure, if the job diverged, errored, or timed out.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        self.outcome.as_ref().err()
     }
 }
 
@@ -99,6 +120,26 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Per-job wall-clock watchdog in milliseconds; 0 = disabled. Process
+/// global (set once by the CLI before any sweep starts) so figure
+/// modules never have to thread it through their manifests.
+static JOB_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets (or clears) the per-job wall-clock watchdog. Jobs exceeding the
+/// budget are reported as [`FailKind::Timeout`] rows and their worker
+/// moves on to the next job.
+pub fn set_job_timeout(timeout: Option<Duration>) {
+    let ms = timeout.map(|d| d.as_millis().max(1) as u64).unwrap_or(0);
+    JOB_TIMEOUT_MS.store(ms, Ordering::Relaxed);
+}
+
+fn job_timeout() -> Option<Duration> {
+    match JOB_TIMEOUT_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -111,14 +152,70 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Runs one claimed job to a [`JobFailure`]-classified outcome.
+///
+/// Without a watchdog the closure runs inline on the worker thread.
+/// With one, it runs on a freshly spawned thread and the worker waits on
+/// a channel with a deadline; on timeout the runaway thread is *leaked*
+/// (Rust threads cannot be killed) — it keeps burning one core until the
+/// process exits, but its result is discarded and its worker moves on.
+fn run_one(job: SweepJob) -> JobResult {
+    let SweepJob { label, run } = job;
+    let t0 = Instant::now();
+    let outcome = match job_timeout() {
+        None => classify(catch_unwind(AssertUnwindSafe(run))),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                // A dropped-on-timeout receiver makes this send fail;
+                // that is fine, the result is abandoned by design.
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(run)));
+            });
+            match rx.recv_timeout(limit) {
+                Ok(raw) => classify(raw),
+                Err(_) => Err(JobFailure {
+                    kind: FailKind::Timeout,
+                    message: format!(
+                        "exceeded the {:.0}s per-job wall-clock limit",
+                        limit.as_secs_f64()
+                    ),
+                }),
+            }
+        }
+    };
+    JobResult {
+        label,
+        outcome,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Collapses the two failure layers (panic, typed error) into one.
+fn classify(
+    raw: Result<Result<ExecReport, SimError>, Box<dyn std::any::Any + Send>>,
+) -> Result<ExecReport, JobFailure> {
+    match raw {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(sim)) => Err(JobFailure {
+            kind: FailKind::Failed,
+            message: sim.to_string(),
+        }),
+        Err(payload) => Err(JobFailure {
+            kind: FailKind::Failed,
+            message: panic_message(payload),
+        }),
+    }
+}
+
 /// Executes `jobs` across `workers` threads and returns the results in
 /// manifest order.
 ///
 /// Work is claimed dynamically (an atomic cursor over the manifest) so
 /// long and short simulations load-balance; each result lands in its
 /// manifest slot, which is what keeps the output order — and therefore
-/// the rendered tables — independent of scheduling. A panicking job is
-/// captured as `Err(message)` and the remaining jobs keep running.
+/// the rendered tables — independent of scheduling. A job that fails
+/// (typed error, panic, or watchdog timeout) is captured as
+/// `Err(JobFailure)` and the remaining jobs keep running.
 pub fn run_jobs(jobs: Vec<SweepJob>, workers: usize) -> Vec<JobResult> {
     let n = jobs.len();
     if n == 0 {
@@ -141,15 +238,7 @@ pub fn run_jobs(jobs: Vec<SweepJob>, workers: usize) -> Vec<JobResult> {
                     .expect("job slot poisoned")
                     .take()
                     .expect("job claimed twice");
-                let SweepJob { label, run } = job;
-                let t0 = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(run)).map_err(panic_message);
-                let wall = t0.elapsed();
-                *results[i].lock().expect("result slot poisoned") = Some(JobResult {
-                    label,
-                    outcome,
-                    wall,
-                });
+                *results[i].lock().expect("result slot poisoned") = Some(run_one(job));
             });
         }
     });
@@ -193,7 +282,7 @@ mod tests {
     use cais_engine::{strategy::execute, SystemConfig};
     use llm_workload::{sublayer, ModelConfig, SubLayer};
 
-    fn tiny_report() -> ExecReport {
+    fn tiny_report() -> Result<ExecReport, SimError> {
         let model = ModelConfig {
             hidden: 512,
             ffn_hidden: 1024,
@@ -245,9 +334,59 @@ mod tests {
         ];
         let results = run_jobs(jobs, 2);
         assert!(results[0].outcome.is_ok());
-        assert_eq!(results[1].failure(), Some("synthetic divergence"));
+        let failure = results[1].failure().expect("panic captured");
+        assert_eq!(failure.kind, FailKind::Failed);
+        assert_eq!(failure.message, "synthetic divergence");
         assert!(results[1].secs().is_nan());
         assert!(results[2].outcome.is_ok(), "later jobs keep running");
+    }
+
+    #[test]
+    fn a_sim_error_becomes_a_failed_result_with_its_display() {
+        let jobs = vec![SweepJob::new("typed", || {
+            Err(SimError::DeadlineExceeded {
+                deadline: sim_core::SimTime::from_ms(1),
+                now: sim_core::SimTime::from_ms(2),
+                kernels_remaining: 3,
+            })
+        })];
+        let results = run_jobs(jobs, 1);
+        let failure = results[0].failure().expect("typed error captured");
+        assert_eq!(failure.kind, FailKind::Failed);
+        assert!(
+            failure.message.contains("deadline exceeded"),
+            "{}",
+            failure.message
+        );
+        assert!(
+            failure.message.contains("3 kernels remaining"),
+            "{}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn the_watchdog_times_out_hung_jobs() {
+        // The watchdog is process-global and other tests in this binary
+        // run concurrently; 250ms is far above any tiny_report sim but
+        // far below the synthetic hang.
+        set_job_timeout(Some(Duration::from_millis(250)));
+        let jobs = vec![
+            SweepJob::new("hang", || {
+                // Simulates a livelocked job; the leaked thread exits
+                // when this sleep ends (well before the test binary).
+                std::thread::sleep(Duration::from_secs(2));
+                tiny_report()
+            }),
+            SweepJob::new("ok", tiny_report),
+        ];
+        let results = run_jobs(jobs, 2);
+        set_job_timeout(None);
+        let failure = results[0].failure().expect("hang captured");
+        assert_eq!(failure.kind, FailKind::Timeout);
+        assert!(failure.message.contains("wall-clock limit"));
+        assert!(results[0].secs().is_nan());
+        assert!(results[1].outcome.is_ok(), "other jobs unaffected");
     }
 
     #[test]

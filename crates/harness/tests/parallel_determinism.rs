@@ -41,3 +41,13 @@ fn fig11_is_identical_across_worker_counts() {
     let parallel = cais_harness::fig11::run(Scale::Smoke, 4);
     assert_identical(&serial, &parallel);
 }
+
+/// The fault-injection sweep must be just as scheduler-independent:
+/// identical seeds give byte-identical fault timelines (and therefore
+/// identical retry/backoff counters) at every worker count.
+#[test]
+fn resilience_is_identical_across_worker_counts() {
+    let serial = cais_harness::resilience::run(Scale::Smoke, 1);
+    let parallel = cais_harness::resilience::run(Scale::Smoke, 8);
+    assert_identical(&serial, &parallel);
+}

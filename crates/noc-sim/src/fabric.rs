@@ -2,8 +2,13 @@
 
 use crate::link::{Direction, EnqueueEffect, Link};
 use crate::packet::{Delivery, FlowClass, Hop, Packet, Payload};
-use crate::report::{FabricReport, LinkUsage};
-use sim_core::{Bandwidth, EventQueue, GpuId, PlaneId, SimDuration, SimTime};
+use crate::report::{FabricReport, LinkUsage, ResilienceCounters};
+use sim_core::rng::JitterRng;
+use sim_core::{
+    Bandwidth, EventQueue, FastHash, FaultPlan, GpuId, PlaneId, SimDuration, SimTime,
+    WindowSchedule,
+};
+use std::collections::HashMap;
 
 /// Static fabric parameters (Sec. IV-A of the paper).
 #[derive(Debug, Clone)]
@@ -27,6 +32,9 @@ pub struct FabricConfig {
     /// When set, every link records a utilization time series with this
     /// bucket width (used by the Fig. 16 experiment).
     pub series_bucket: Option<SimDuration>,
+    /// Fault-injection plan; the default plan injects nothing and leaves
+    /// every result byte-identical to a fault-free build.
+    pub faults: FaultPlan,
 }
 
 impl FabricConfig {
@@ -42,6 +50,7 @@ impl FabricConfig {
             segment_bytes: 2048,
             traffic_control: false,
             series_bucket: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -137,6 +146,96 @@ impl<P: Payload> SwitchLogic<P> for PureRouter {
     }
 }
 
+/// Per-link fault state: an independent RNG stream (so fault timelines do
+/// not depend on traffic on other links) and the link's degradation/outage
+/// window schedules, phase-shifted per link.
+#[derive(Debug)]
+struct LinkFault {
+    rng: JitterRng,
+    degrade: Option<WindowSchedule>,
+    down: Option<WindowSchedule>,
+}
+
+/// Fabric-wide fault-injection state; only constructed when the plan
+/// configures at least one link-level fault, so the default plan keeps the
+/// fabric on the exact pre-fault code path.
+#[derive(Debug)]
+struct FabricFaults {
+    drop_rate: f64,
+    corrupt_rate: f64,
+    degrade_factor: f64,
+    retx: sim_core::RetxConfig,
+    links: Vec<LinkFault>,
+    /// Drop count per in-flight packet id. Entries are removed on delivery;
+    /// the map is never iterated, so its order cannot leak into results.
+    attempts: HashMap<u64, u32, FastHash>,
+    counters: ResilienceCounters,
+}
+
+impl FabricFaults {
+    fn new(plan: &FaultPlan, n_links: usize) -> FabricFaults {
+        let mut root = JitterRng::seed_from(plan.seed ^ 0x5EED_FA17);
+        let links = (0..n_links)
+            .map(|li| {
+                let mut rng = root.fork(li as u64);
+                let degrade = plan.degrade.as_ref().map(|d| {
+                    let phase = SimDuration::from_ps(rng.next_below(d.period.as_ps()));
+                    WindowSchedule::new(d.period, d.duration, phase)
+                });
+                let down = plan.link_down.as_ref().map(|d| {
+                    let phase = SimDuration::from_ps(rng.next_below(d.period.as_ps()));
+                    WindowSchedule::new(d.period, d.duration, phase)
+                });
+                LinkFault { rng, degrade, down }
+            })
+            .collect();
+        FabricFaults {
+            drop_rate: plan.drop_rate,
+            corrupt_rate: plan.corrupt_rate,
+            degrade_factor: plan.degrade.as_ref().map_or(1.0, |d| d.factor),
+            retx: plan.retx.clone(),
+            links,
+            attempts: HashMap::default(),
+            counters: ResilienceCounters::default(),
+        }
+    }
+
+    /// Decides the fate of a packet whose final segment just left link
+    /// `li`: `None` delivers it, `Some(backoff)` drops it and asks the
+    /// caller to retransmit after `backoff`. One RNG draw per departure.
+    ///
+    /// A packet that exhausts its retransmit budget is force-delivered so
+    /// the simulation always terminates; the exhaustion is counted and the
+    /// engine turns it into a typed error at the end of the run.
+    fn departure_fate(&mut self, li: usize, pkt_id: u64) -> Option<SimDuration> {
+        if self.drop_rate == 0.0 && self.corrupt_rate == 0.0 {
+            return None;
+        }
+        let r = self.links[li].rng.next_f64();
+        if r >= self.drop_rate + self.corrupt_rate {
+            self.attempts.remove(&pkt_id);
+            return None;
+        }
+        let attempt = self.attempts.entry(pkt_id).or_insert(0);
+        *attempt += 1;
+        if *attempt > self.retx.max_retries {
+            self.attempts.remove(&pkt_id);
+            self.counters.budget_exhausted += 1;
+            return None;
+        }
+        let exp = (*attempt - 1).min(self.retx.backoff_cap_exp);
+        if r < self.drop_rate {
+            self.counters.drops += 1;
+        } else {
+            self.counters.corruptions += 1;
+        }
+        self.counters.retries += 1;
+        let backoff = self.retx.backoff_base * (1u64 << exp);
+        self.counters.backoff_time += backoff;
+        Some(backoff)
+    }
+}
+
 #[derive(Debug)]
 enum NetEvent<P> {
     LinkFree { li: usize, token: u64 },
@@ -160,6 +259,9 @@ pub struct Fabric<P, L> {
     /// Recycled action buffer for [`SwitchCtx`], so per-arrival logic
     /// callbacks don't allocate.
     scratch_actions: Vec<Action<P>>,
+    /// Fault-injection state; `None` unless the plan configures link
+    /// faults, keeping the fault-free fast path untouched.
+    faults: Option<FabricFaults>,
 }
 
 impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
@@ -182,6 +284,10 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                 )
             })
             .collect();
+        let faults = cfg
+            .faults
+            .link_faults_active()
+            .then(|| FabricFaults::new(&cfg.faults, n_links));
         Fabric {
             cfg,
             links,
@@ -191,6 +297,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             pkt_seq: 0,
             now: SimTime::ZERO,
             scratch_actions: Vec::new(),
+            faults,
         }
     }
 
@@ -266,29 +373,92 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
         self.queue.push(at, NetEvent::LinkFree { li, token });
     }
 
+    fn push_arrival(&mut self, pkt: Packet<P>, arrive_at: SimTime) {
+        let ev = match pkt.hop {
+            Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
+            Hop::ToGpu => NetEvent::ArriveGpu(pkt),
+        };
+        self.queue.push(arrive_at, ev);
+    }
+
+    /// Puts a dropped packet back at the head of its VC for a full
+    /// retransmission and schedules the link to retry at `retry_at`
+    /// (stop-and-wait: the link idles through the backoff). Head placement
+    /// keeps per-VC FIFO order, so retransmission never reorders a flow.
+    fn requeue_for_retx(&mut self, li: usize, pkt: Packet<P>, retry_at: SimTime) {
+        let vc = pkt.payload.class().vc(self.cfg.traffic_control);
+        let bytes = pkt.payload.data_bytes();
+        self.links[li].requeue_front(vc, pkt, bytes);
+        self.links[li].set_serving(true);
+        self.push_link_free(li, retry_at);
+    }
+
     fn serve_link(&mut self, li: usize, now: SimTime, token: u64) {
         if token != self.links[li].token() {
             // Superseded by a burst preemption.
             return;
         }
         if let Some((pkt, arrive_at)) = self.links[li].finish_burst(now) {
-            let ev = match pkt.hop {
-                Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
-                Hop::ToGpu => NetEvent::ArriveGpu(pkt),
-            };
-            self.queue.push(arrive_at, ev);
+            let fate = self
+                .faults
+                .as_mut()
+                .and_then(|f| f.departure_fate(li, pkt.id));
+            if let Some(backoff) = fate {
+                // The wire time was spent (busy/bytes already accounted by
+                // the link) but the packet was lost: retransmit after the
+                // backoff instead of serving the next packet.
+                self.requeue_for_retx(li, pkt, now + backoff);
+                return;
+            }
+            self.push_arrival(pkt, arrive_at);
+        }
+        // Transient outage and degradation windows are evaluated at serve
+        // time: an outage defers the whole serve to the window's end (it
+        // never cuts an in-flight serialization), a degradation window
+        // stretches the transfer times of everything served inside it.
+        let mut slowdown = 1.0f64;
+        if let Some(f) = &mut self.faults {
+            let lf = &f.links[li];
+            if let Some(end) = lf.down.as_ref().and_then(|w| w.active_until(now)) {
+                if self.links[li].has_work() {
+                    f.counters.down_stalls += 1;
+                    self.links[li].set_serving(true);
+                    let at = end;
+                    self.push_link_free(li, at);
+                } else {
+                    self.links[li].set_serving(false);
+                }
+                return;
+            }
+            if let Some(w) = &lf.degrade {
+                if w.is_active(now) {
+                    slowdown = f.degrade_factor;
+                }
+            }
+            self.links[li].set_slowdown(slowdown);
         }
         match self.links[li].serve(now) {
             None => self.links[li].set_serving(false),
             Some(out) => {
                 self.links[li].set_serving(true);
-                self.push_link_free(li, out.free_at);
+                if slowdown != 1.0 {
+                    if let Some(f) = &mut self.faults {
+                        f.counters.degraded_serves += 1;
+                    }
+                }
                 if let Some((pkt, arrive_at)) = out.departed {
-                    let ev = match pkt.hop {
-                        Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
-                        Hop::ToGpu => NetEvent::ArriveGpu(pkt),
-                    };
-                    self.queue.push(arrive_at, ev);
+                    let fate = self
+                        .faults
+                        .as_mut()
+                        .and_then(|f| f.departure_fate(li, pkt.id));
+                    if let Some(backoff) = fate {
+                        self.requeue_for_retx(li, pkt, out.free_at + backoff);
+                    } else {
+                        self.push_link_free(li, out.free_at);
+                        self.push_arrival(pkt, arrive_at);
+                    }
+                } else {
+                    self.push_link_free(li, out.free_at);
                 }
             }
         }
@@ -423,7 +593,18 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             }
         }
         let saved = self.links.iter().map(Link::events_saved).sum();
-        FabricReport::new(horizon, usages).with_events_saved(saved)
+        let mut report = FabricReport::new(horizon, usages).with_events_saved(saved);
+        if let Some(f) = &self.faults {
+            report = report.with_resilience(f.counters.clone());
+        }
+        report
+    }
+
+    /// Fault-injection counters so far; `None` when link fault injection is
+    /// disabled. Lets the engine check for retransmit-budget exhaustion
+    /// without building a full report.
+    pub fn resilience_counters(&self) -> Option<&ResilienceCounters> {
+        self.faults.as_ref().map(|f| &f.counters)
     }
 }
 
@@ -613,6 +794,186 @@ mod tests {
         );
         f.run_to_completion();
         f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(1));
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        // A non-default seed with all rates zero must not perturb timing:
+        // no fault state is constructed at all.
+        let mut cfg = cfg2();
+        cfg.faults = sim_core::FaultPlan::default().with_seed(0xDEAD_BEEF);
+        let mut f = Fabric::new(cfg, PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(84));
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d[0].time, SimTime::from_ns(700));
+        assert!(f.resilience_counters().is_none());
+        assert!(f.report(SimDuration::from_us(1)).resilience().is_clean());
+    }
+
+    #[test]
+    fn drops_retransmit_until_delivered() {
+        let mut cfg = cfg2();
+        cfg.faults = sim_core::FaultPlan::default()
+            .with_seed(7)
+            .with_drop_rate(0.2)
+            .with_corrupt_rate(0.05);
+        let mut f = Fabric::new(cfg, PureRouter);
+        for i in 0..40 {
+            f.inject(
+                SimTime::from_ns(i * 50),
+                GpuId(0),
+                GpuId(1),
+                PlaneId(0),
+                blob(100 + i),
+            );
+        }
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 40, "every packet must eventually deliver");
+        let c = f.resilience_counters().unwrap();
+        assert!(c.drops > 0, "0.2 drop rate over 80 hops must drop");
+        assert!(c.corruptions > 0);
+        assert_eq!(c.retries, c.drops + c.corruptions);
+        assert!(c.backoff_time > SimDuration::ZERO);
+        assert_eq!(c.budget_exhausted, 0);
+        let report = f.report(SimDuration::from_us(100));
+        assert_eq!(report.resilience(), c);
+    }
+
+    #[test]
+    fn retransmission_preserves_per_flow_order() {
+        // Same (src, dst, class) => same VC; head-of-VC requeue plus
+        // stop-and-wait backoff must keep delivery order = injection order
+        // under heavy loss, for any seed.
+        for seed in 0..8 {
+            let mut cfg = cfg2();
+            cfg.faults = sim_core::FaultPlan::default()
+                .with_seed(seed)
+                .with_drop_rate(0.4);
+            let mut f = Fabric::new(cfg, PureRouter);
+            for i in 0..30 {
+                f.inject(
+                    SimTime::from_ns(i * 20),
+                    GpuId(0),
+                    GpuId(1),
+                    PlaneId(0),
+                    blob(1000 + i),
+                );
+            }
+            f.run_to_completion();
+            let d = f.drain_deliveries();
+            assert_eq!(d.len(), 30);
+            let seqs: Vec<u64> = d.iter().map(|x| x.payload.bytes).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted, "reordered under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_force_delivers() {
+        // With drop_rate 1.0 every transmission fails; the budget bounds
+        // the retries and the packet is force-delivered so the simulation
+        // terminates (the engine surfaces the exhaustion as an error).
+        let mut cfg = cfg2();
+        cfg.faults = sim_core::FaultPlan::default()
+            .with_seed(3)
+            .with_drop_rate(1.0);
+        let mut f = Fabric::new(cfg, PureRouter);
+        f.inject(SimTime::ZERO, GpuId(0), GpuId(1), PlaneId(0), blob(64));
+        f.run_to_completion();
+        assert_eq!(f.drain_deliveries().len(), 1);
+        let c = f.resilience_counters().unwrap();
+        // One exhaustion per hop (up link and down link).
+        assert_eq!(c.budget_exhausted, 2);
+        assert_eq!(c.drops, 2 * 8, "max_retries drops per hop");
+    }
+
+    #[test]
+    fn deterministic_fault_timeline_per_seed() {
+        let run = |seed: u64| {
+            let mut cfg = cfg2();
+            cfg.faults = sim_core::FaultPlan::default()
+                .with_seed(seed)
+                .with_drop_rate(0.25);
+            let mut f = Fabric::new(cfg, PureRouter);
+            for i in 0..20 {
+                f.inject(
+                    SimTime::from_ns(i * 100),
+                    GpuId(0),
+                    GpuId(1),
+                    PlaneId(0),
+                    blob(500),
+                );
+            }
+            f.run_to_completion();
+            let times: Vec<SimTime> = f.drain_deliveries().iter().map(|d| d.time).collect();
+            (times, f.resilience_counters().unwrap().clone())
+        };
+        assert_eq!(run(11), run(11), "same seed must replay byte-identically");
+        assert_ne!(run(11).0, run(12).0, "different seeds must diverge");
+    }
+
+    #[test]
+    fn down_windows_stall_service() {
+        let mut cfg = cfg2();
+        cfg.faults =
+            sim_core::FaultPlan::default()
+                .with_seed(5)
+                .with_link_down(sim_core::DownSpec {
+                    period: SimDuration::from_us(1),
+                    duration: SimDuration::from_ns(900),
+                });
+        let mut f = Fabric::new(cfg, PureRouter);
+        for i in 0..10 {
+            f.inject(
+                SimTime::from_ns(i * 300),
+                GpuId(0),
+                GpuId(1),
+                PlaneId(0),
+                blob(84),
+            );
+        }
+        let end = f.run_to_completion();
+        assert_eq!(f.drain_deliveries().len(), 10);
+        let c = f.resilience_counters().unwrap();
+        assert!(c.down_stalls > 0, "90% outage duty cycle must stall serves");
+        // Fault-free the last packet (injected at 2.7 us) lands by 3.4 us.
+        assert!(
+            end > SimTime::from_ns(3400),
+            "outages must delay completion"
+        );
+    }
+
+    #[test]
+    fn degradation_windows_stretch_transfers() {
+        let mut cfg = cfg2();
+        cfg.faults =
+            sim_core::FaultPlan::default()
+                .with_seed(5)
+                .with_degrade(sim_core::DegradeSpec {
+                    factor: 4.0,
+                    period: SimDuration::from_us(1),
+                    duration: SimDuration::from_ns(999),
+                });
+        let mut f = Fabric::new(cfg, PureRouter);
+        // Inject past every link's window phase (phases are drawn in
+        // [0, period)), so both hops serve inside a degradation window.
+        f.inject(
+            SimTime::from_us(2),
+            GpuId(0),
+            GpuId(1),
+            PlaneId(0),
+            blob(84),
+        );
+        f.run_to_completion();
+        let d = f.drain_deliveries();
+        assert_eq!(d.len(), 1);
+        let c = f.resilience_counters().unwrap();
+        assert!(c.degraded_serves > 0);
+        // Both hops at quarter bandwidth: 2*(400 ns wire) + 500 ns latency.
+        assert!(d[0].time > SimTime::from_us(2) + SimDuration::from_ns(700));
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub mod report;
 pub use fabric::{Fabric, FabricConfig, PureRouter, SwitchCtx, SwitchLogic};
 pub use link::Direction;
 pub use packet::{Delivery, FlowClass, Packet, Payload};
-pub use report::{FabricReport, LinkUsage};
+pub use report::{FabricReport, LinkUsage, ResilienceCounters};

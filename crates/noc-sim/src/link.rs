@@ -76,6 +76,9 @@ pub struct Link<P> {
     segment_bytes: u64,
     vcs: Vec<VecDeque<QueuedPacket<P>>>,
     rr: usize,
+    /// Transfer-time multiplier from an active degradation window; exactly
+    /// `1.0` outside windows (and always, when fault injection is off).
+    slowdown: f64,
     /// True while a `LinkFree` event is pending for this link.
     serving: bool,
     burst: Option<Burst>,
@@ -132,6 +135,7 @@ impl<P> Link<P> {
             segment_bytes,
             vcs: (0..vc_count).map(|_| VecDeque::new()).collect(),
             rr: 0,
+            slowdown: 1.0,
             serving: false,
             burst: None,
             token: 0,
@@ -140,6 +144,24 @@ impl<P> Link<P> {
             series: series_bucket.map(UtilizationSeries::new),
             bytes_carried: 0,
             packets_carried: 0,
+        }
+    }
+
+    /// Sets the degradation slowdown factor applied to subsequent transfer
+    /// times. `1.0` restores nominal bandwidth bit-exactly.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = factor;
+    }
+
+    /// Serialization time for `wire` bytes under the current slowdown.
+    /// Bit-exact with the nominal bandwidth when the factor is `1.0`, so a
+    /// disabled fault layer cannot perturb timing.
+    fn transfer(&self, wire: u64) -> SimDuration {
+        let t = self.bw.transfer_time(wire);
+        if self.slowdown == 1.0 {
+            t
+        } else {
+            SimDuration::from_ps((t.as_ps() as f64 * self.slowdown) as u64)
         }
     }
 
@@ -174,7 +196,7 @@ impl<P> Link<P> {
                 wire += self.header_bytes;
                 first = false;
             }
-            t += self.bw.transfer_time(wire);
+            t += self.transfer(wire);
             wire_total += wire;
             segments += 1;
             remaining -= seg;
@@ -242,6 +264,18 @@ impl<P> Link<P> {
         } else {
             EnqueueEffect::Pending
         }
+    }
+
+    /// Requeues a packet at the *head* of virtual channel `vc` for
+    /// retransmission after a drop. The packet is re-serialized in full
+    /// (header included), and head placement preserves per-VC FIFO order so
+    /// retransmission never reorders a flow.
+    pub fn requeue_front(&mut self, vc: usize, pkt: Packet<P>, data_bytes: u64) {
+        self.vcs[vc].push_front(QueuedPacket {
+            pkt,
+            remaining: data_bytes,
+            header_pending: true,
+        });
     }
 
     /// True if a serve event is already pending.
@@ -330,8 +364,9 @@ impl<P> Link<P> {
             head.header_pending = false;
         }
         head.remaining -= seg;
+        let drained = head.remaining == 0;
 
-        let t = self.bw.transfer_time(wire);
+        let t = self.transfer(wire);
         let free_at = now + t;
         self.busy.record(now, free_at);
         if let Some(s) = &mut self.series {
@@ -339,7 +374,7 @@ impl<P> Link<P> {
         }
         self.bytes_carried += wire;
 
-        let departed = if head.remaining == 0 {
+        let departed = if drained {
             let q = self.vcs[vc].pop_front().expect("head exists");
             self.packets_carried += 1;
             Some((q.pkt, free_at + self.latency))

@@ -24,6 +24,38 @@ pub struct LinkUsage {
     pub series: Option<Vec<f64>>,
 }
 
+/// Counters for the link fault-injection and retransmission protocol.
+///
+/// All zero when fault injection is disabled (the default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Packets dropped on the wire (each triggers a retransmission).
+    pub drops: u64,
+    /// Packets delivered corrupted and NACKed by the receiver (each
+    /// triggers a retransmission; disjoint from `drops`).
+    pub corruptions: u64,
+    /// Retransmissions performed (`drops + corruptions` minus budget
+    /// exhaustions).
+    pub retries: u64,
+    /// Total exponential-backoff wait accumulated before retransmissions.
+    pub backoff_time: SimDuration,
+    /// Packets whose retransmit budget ran out; they are force-delivered so
+    /// the simulation terminates, and the engine reports the run as failed.
+    pub budget_exhausted: u64,
+    /// Serve attempts deferred because the link was inside a transient
+    /// outage window.
+    pub down_stalls: u64,
+    /// Packet serves that started inside a bandwidth-degradation window.
+    pub degraded_serves: u64,
+}
+
+impl ResilienceCounters {
+    /// True when no fault event was recorded.
+    pub fn is_clean(&self) -> bool {
+        *self == ResilienceCounters::default()
+    }
+}
+
 /// Aggregated usage over all links of a fabric run.
 ///
 /// The paper's Fig. 15 reports "average bandwidth utilization across all
@@ -33,6 +65,7 @@ pub struct FabricReport {
     horizon: SimDuration,
     usages: Vec<LinkUsage>,
     events_saved: u64,
+    resilience: ResilienceCounters,
 }
 
 impl FabricReport {
@@ -42,7 +75,20 @@ impl FabricReport {
             horizon,
             usages,
             events_saved: 0,
+            resilience: ResilienceCounters::default(),
         }
+    }
+
+    /// Attaches the fault-injection counters.
+    pub fn with_resilience(mut self, resilience: ResilienceCounters) -> FabricReport {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Fault-injection and retransmission counters; all zero when fault
+    /// injection is disabled.
+    pub fn resilience(&self) -> &ResilienceCounters {
+        &self.resilience
     }
 
     /// Attaches the segment-coalescing event savings counter.

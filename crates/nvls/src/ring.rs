@@ -384,7 +384,12 @@ mod tests {
         let mut ids = IdAlloc::new(n);
         let out = build(&mut prog, &mut ids, &c, &cost);
         let n_tiles: usize = out.out_tiles.iter().map(|v| v.len()).sum();
-        (SystemSim::new(c, prog, Box::new(PureRouter)).run(), n_tiles)
+        (
+            SystemSim::new(c, prog, Box::new(PureRouter))
+                .run()
+                .expect("run completes"),
+            n_tiles,
+        )
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod fault;
 pub mod ids;
 pub mod queue;
 pub mod rng;
@@ -39,6 +40,9 @@ pub mod stats;
 pub mod time;
 
 pub use bandwidth::Bandwidth;
+pub use fault::{
+    DegradeSpec, DownSpec, FaultPlan, MergeFaultSpec, RetxConfig, StragglerSpec, WindowSchedule,
+};
 pub use ids::{
     Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, IdIndex, KernelId, PlaneId, TbId, TileId,
 };

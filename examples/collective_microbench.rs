@@ -40,7 +40,7 @@ fn run_collective(lower: Lower, bytes: u64, nvls: bool) -> SimDuration {
     } else {
         SystemSim::new(cfg, prog, Box::new(PureRouter)).run()
     };
-    report.total
+    report.expect("run completes").total
 }
 
 fn main() {

@@ -39,7 +39,7 @@ fn main() {
                 .with_coordination(coord_name, opts)
                 .with_merge_table(Some(kb * 1024))
                 .with_timeout(SimDuration::from_us(30));
-            let r = execute(&strategy, &dfg, &cfg);
+            let r = execute(&strategy, &dfg, &cfg).expect("run completes");
             let reqs = r.stat("cais.load_requests").unwrap_or(0.0)
                 + r.stat("cais.reduce_contribs").unwrap_or(0.0);
             let merged = r.stat("cais.loads_merged").unwrap_or(0.0)

@@ -27,7 +27,7 @@ fn main() {
         dfg.total_collective_bytes() >> 20,
     );
 
-    let nvls = execute(&BaselineStrategy::sp_nvls(), &dfg, &cfg);
+    let nvls = execute(&BaselineStrategy::sp_nvls(), &dfg, &cfg).expect("run completes");
     println!("\nSP-NVLS (communication-centric in-switch computing):");
     println!("  end-to-end      {}", nvls.total);
     println!("  SM occupancy    {:.1}%", nvls.mean_occupancy() * 100.0);
@@ -36,7 +36,7 @@ fn main() {
         nvls.fabric.mean_utilization() * 100.0
     );
 
-    let cais = execute(&CaisStrategy::full(), &dfg, &cfg);
+    let cais = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
     println!("\nCAIS (compute-aware in-switch computing):");
     println!("  end-to-end      {}", cais.total);
     println!("  SM occupancy    {:.1}%", cais.mean_occupancy() * 100.0);

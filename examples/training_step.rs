@@ -48,7 +48,7 @@ fn main() {
     let mut results = Vec::new();
     for (strategy, mode) in &roster {
         let dfg = transformer_layer(&model, cfg.tp(), *mode, Pass::Training);
-        let report = execute(strategy.as_ref(), &dfg, &cfg);
+        let report = execute(strategy.as_ref(), &dfg, &cfg).expect("run completes");
         if strategy.name() == "CAIS" {
             cais_time = Some(report.total);
         }

@@ -28,8 +28,8 @@ fn cfg() -> SystemConfig {
 
 fn run_twice(strategy: impl Fn() -> Box<dyn Strategy>) {
     let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-    let a = execute(strategy().as_ref(), &dfg, &cfg());
-    let b = execute(strategy().as_ref(), &dfg, &cfg());
+    let a = execute(strategy().as_ref(), &dfg, &cfg()).expect("run completes");
+    let b = execute(strategy().as_ref(), &dfg, &cfg()).expect("run completes");
     assert_eq!(
         a.total,
         b.total,
@@ -85,8 +85,8 @@ fn merge_table_eviction_paths_are_deterministic() {
             .with_timeout(SimDuration::from_us(2))
     };
     let dfg = sublayer(&small_model(), 4, SubLayer::L2);
-    let a = execute(&strategy(), &dfg, &cfg());
-    let b = execute(&strategy(), &dfg, &cfg());
+    let a = execute(&strategy(), &dfg, &cfg()).expect("run completes");
+    let b = execute(&strategy(), &dfg, &cfg()).expect("run completes");
     assert_eq!(a.total, b.total, "totals must be bit-identical");
     assert_eq!(a.gpu_occupancy, b.gpu_occupancy);
     assert_eq!(
@@ -108,9 +108,9 @@ fn merge_table_eviction_paths_are_deterministic() {
 #[test]
 fn different_seeds_differ() {
     let dfg = sublayer(&small_model(), 4, SubLayer::L1);
-    let a = execute(&CaisStrategy::full(), &dfg, &cfg());
+    let a = execute(&CaisStrategy::full(), &dfg, &cfg()).expect("run completes");
     let mut cfg2 = cfg();
     cfg2.seed ^= 0xDEAD_BEEF;
-    let b = execute(&CaisStrategy::full(), &dfg, &cfg2);
+    let b = execute(&CaisStrategy::full(), &dfg, &cfg2).expect("run completes");
     assert_ne!(a.total, b.total, "jitter must actually depend on the seed");
 }

@@ -99,6 +99,8 @@ fn merge_unit_serves_every_requester_once() {
             table_bytes_per_port: None,
             entry_overhead_bytes: 16,
             timeout: SimDuration::from_ms(10),
+            entry_fault_rate: 0.0,
+            degrade_threshold: 8,
         });
         let addr = Addr::new(GpuId(0), 0x1000);
         let mut out = Vec::new();
@@ -188,7 +190,9 @@ fn ring_collectives_move_algorithmic_volume() {
                 2
             }
         };
-        let report = SystemSim::new(cfg, prog, Box::new(PureRouter)).run();
+        let report = SystemSim::new(cfg, prog, Box::new(PureRouter))
+            .run()
+            .expect("run completes");
         let expect = mult * bytes / n_gpus as u64 * (n_gpus as u64 - 1) * n_gpus as u64;
         let got = report.fabric.bytes_dir(Direction::Up);
         let ratio = got as f64 / expect as f64;

@@ -82,7 +82,7 @@ fn every_strategy_completes_every_sublayer() {
     for which in SubLayer::ALL {
         for (strategy, _) in roster() {
             let dfg = sublayer(&model, cfg.tp(), which);
-            let r = execute(strategy.as_ref(), &dfg, &cfg);
+            let r = execute(strategy.as_ref(), &dfg, &cfg).expect("run completes");
             check_report(&format!("{} {}", strategy.name(), which.label()), &r);
         }
     }
@@ -95,7 +95,7 @@ fn every_strategy_completes_forward_and_training_layers() {
     for pass in [Pass::Forward, Pass::Training] {
         for (strategy, mode) in roster() {
             let dfg = transformer_layer(&model, cfg.tp(), mode, pass);
-            let r = execute(strategy.as_ref(), &dfg, &cfg);
+            let r = execute(strategy.as_ref(), &dfg, &cfg).expect("run completes");
             check_report(&format!("{} {pass:?}", strategy.name()), &r);
         }
     }
@@ -105,7 +105,7 @@ fn every_strategy_completes_forward_and_training_layers() {
 fn cais_merge_accounting_is_conserved() {
     let cfg = cfg();
     let dfg = sublayer(&small_model(), cfg.tp(), SubLayer::L1);
-    let r = execute(&CaisStrategy::full(), &dfg, &cfg);
+    let r = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
     let reqs = r.stat("cais.load_requests").unwrap();
     let merged = r.stat("cais.loads_merged").unwrap();
     let forwarded = r.stat("cais.loads_forwarded").unwrap();
@@ -123,8 +123,8 @@ fn cais_moves_less_upstream_than_unmerged_nvls_gather() {
     // (one fetch instead of p-1) relative to LADM's unmerged reads.
     let cfg = cfg();
     let dfg = sublayer(&small_model(), cfg.tp(), SubLayer::L1);
-    let cais = execute(&CaisStrategy::full(), &dfg, &cfg);
-    let ladm = execute(&LadmStrategy::new(), &dfg, &cfg);
+    let cais = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
+    let ladm = execute(&LadmStrategy::new(), &dfg, &cfg).expect("run completes");
     let cais_up = cais.fabric.bytes_dir(Direction::Up);
     let ladm_up = ladm.fabric.bytes_dir(Direction::Up);
     assert!(
@@ -139,7 +139,7 @@ fn fused_pipeline_overlaps_kernels_in_time() {
     // in flight simultaneously (asymmetric kernel overlapping).
     let cfg = cfg();
     let dfg = sublayer(&small_model(), cfg.tp(), SubLayer::L1);
-    let r = execute(&CaisStrategy::full(), &dfg, &cfg);
+    let r = execute(&CaisStrategy::full(), &dfg, &cfg).expect("run completes");
     let span = |prefix: &str| {
         r.kernel_spans
             .values()
@@ -160,7 +160,7 @@ fn fused_pipeline_overlaps_kernels_in_time() {
 fn base_variant_serializes_stages() {
     let cfg = cfg();
     let dfg = sublayer(&small_model(), cfg.tp(), SubLayer::L1);
-    let r = execute(&CaisStrategy::base(), &dfg, &cfg);
+    let r = execute(&CaisStrategy::base(), &dfg, &cfg).expect("run completes");
     let span = |prefix: &str| {
         r.kernel_spans
             .values()
