@@ -6,16 +6,37 @@
 //! PRs have a perf trajectory to compare against. Invoke with:
 //!
 //! ```text
-//! cargo bench -p cais-bench --bench perf            # paper-scale shapes
+//! cargo bench -p cais-bench --bench perf            # measure + write baseline
 //! cargo bench -p cais-bench --bench perf -- --quick # smoke shapes for CI
+//! cargo bench -p cais-bench --bench perf -- --check # compare vs committed baseline
+//! cargo bench -p cais-bench --bench perf -- --check --bless # update after review
 //! ```
+//!
+//! `--check` re-measures and exits nonzero when any run's best-of-N
+//! events/sec falls more than 20% (override with the
+//! `CAIS_BENCH_CHECK_THRESHOLD` env var, a fraction) below the committed
+//! `BENCH_sim.json`. Comparing minima rather than means damps scheduler
+//! noise on both sides. `--check` never writes the baseline; pass
+//! `--bless` to update it after an intentional change.
+//!
+//! Built with `--features profiler`, each run also records the
+//! per-subsystem wall-time/allocation breakdown from the simulator's
+//! self-profiler in a `"profile"` array.
 
 use cais_baselines::BaselineStrategy;
 use cais_bench::{timeit, Scale};
 use cais_core::CaisStrategy;
 use cais_engine::{strategy::execute, ExecReport, Strategy, SystemConfig};
 use llm_workload::{transformer_layer, ModelConfig, Pass, TpMode};
+use sim_core::profile::{self, SubsystemReport};
 use std::fmt::Write as _;
+
+/// Route every heap allocation through the counting front-end so the
+/// profiler's per-subsystem allocation counters see them. Pass-through
+/// (and compiled out of the count path) without the `profiler` feature.
+#[cfg(feature = "profiler")]
+#[global_allocator]
+static COUNTING_ALLOC: profile::CountingAllocator = profile::CountingAllocator;
 
 struct RunResult {
     name: &'static str,
@@ -25,6 +46,20 @@ struct RunResult {
     events_per_sec: f64,
     queue_peak: u64,
     sim_total_us: f64,
+    /// Per-subsystem self-profiler rows; empty unless the `profiler`
+    /// feature is enabled.
+    profile: Vec<SubsystemReport>,
+}
+
+impl RunResult {
+    /// Best-of-N throughput: total events over the fastest iteration.
+    fn best_events_per_sec(&self) -> f64 {
+        if self.min_ms > 0.0 {
+            self.events as f64 / (self.min_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
 }
 
 fn bench_run(
@@ -37,9 +72,11 @@ fn bench_run(
 ) -> RunResult {
     let dfg = transformer_layer(model, cfg.tp(), mode, Pass::Forward);
     let mut report: Option<ExecReport> = None;
+    profile::reset();
     let stats = timeit(name, iters, || {
         report = Some(execute(strategy, &dfg, cfg).expect("bench run completes"));
     });
+    let profile = profile::report();
     let report = report.expect("at least one timed iteration");
     let wall = stats.mean.as_secs_f64();
     RunResult {
@@ -54,31 +91,164 @@ fn bench_run(
         },
         queue_peak: report.queue_peak as u64,
         sim_total_us: report.total.as_ps() as f64 / 1e6,
+        profile,
     }
 }
 
-fn render_json(runs: &[RunResult]) -> String {
-    let mut out = String::from("{\n  \"runs\": [\n");
+fn render_json(scale_label: &str, runs: &[RunResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\n  \"scale\": \"{scale_label}\",\n  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"min_ms\": {:.3}, \
              \"events\": {}, \"events_per_sec\": {:.0}, \"queue_peak\": {}, \
-             \"sim_total_us\": {:.3}}}",
+             \"sim_total_us\": {:.3}",
             r.name, r.wall_ms, r.min_ms, r.events, r.events_per_sec, r.queue_peak, r.sim_total_us
         );
+        if !r.profile.is_empty() {
+            out.push_str(",\n     \"profile\": [");
+            for (j, row) in r.profile.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"subsystem\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \
+                     \"allocs\": {}, \"alloc_bytes\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    row.subsystem,
+                    row.calls,
+                    row.wall_ns as f64 / 1e6,
+                    row.allocs,
+                    row.alloc_bytes
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
         let _ = writeln!(out, "{}", if i + 1 < runs.len() { "," } else { "" });
     }
     out.push_str("  ]\n}\n");
     out
 }
 
+/// One baseline entry scraped from `BENCH_sim.json`.
+struct BaselineRun {
+    name: String,
+    events: u64,
+    min_ms: f64,
+}
+
+/// Extracts the first JSON number after `key` in `line`.
+fn scan_number(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the quoted string after `key` in `line`.
+fn scan_string(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start_matches([':', ' ', '"']);
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Hand-rolled scan of the committed baseline (the workspace takes no
+/// external dependencies, so no serde): one run object per line, as
+/// [`render_json`] writes them. Returns the file's scale label and runs.
+fn parse_baseline(text: &str) -> (Option<String>, Vec<BaselineRun>) {
+    let mut scale = None;
+    let mut runs = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("\"scale\"") || line.contains("\"scale\"") {
+            if let Some(s) = scan_string(line, "\"scale\"") {
+                scale = Some(s);
+            }
+        }
+        if !line.contains("\"name\"") {
+            continue;
+        }
+        let (Some(name), Some(events), Some(min_ms)) = (
+            scan_string(line, "\"name\""),
+            scan_number(line, "\"events\""),
+            scan_number(line, "\"min_ms\""),
+        ) else {
+            continue;
+        };
+        runs.push(BaselineRun {
+            name,
+            events: events as u64,
+            min_ms,
+        });
+    }
+    (scale, runs)
+}
+
+/// Compares fresh best-of-N throughput against the committed baseline.
+/// Returns `false` when any matched run regressed beyond the threshold.
+fn check_runs(runs: &[RunResult], scale_label: &str, path: &str) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("check: no baseline at {path}; nothing to compare (run --bless first)");
+        return true;
+    };
+    let threshold: f64 = std::env::var("CAIS_BENCH_CHECK_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let (base_scale, baseline) = parse_baseline(&text);
+    if let Some(bs) = &base_scale {
+        if bs != scale_label {
+            println!(
+                "check: baseline was measured at scale \"{bs}\" but this run used \
+                 \"{scale_label}\"; no comparable baseline (re-run at the matching scale)"
+            );
+            return true;
+        }
+    }
+    let mut ok = true;
+    for r in runs {
+        let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
+            println!("check {:40} no baseline entry; skipped", r.name);
+            continue;
+        };
+        let base_eps = if base.min_ms > 0.0 {
+            base.events as f64 / (base.min_ms / 1e3)
+        } else {
+            continue;
+        };
+        let fresh_eps = r.best_events_per_sec();
+        let ratio = fresh_eps / base_eps;
+        let verdict = if ratio + threshold < 1.0 {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {:40} {:>12.0} ev/s vs baseline {:>12.0} ev/s  ({:.2}x)  {}",
+            r.name, fresh_eps, base_eps, ratio, verdict
+        );
+    }
+    if !ok {
+        println!(
+            "check: events/sec regressed more than {:.0}% vs {path}; \
+             run with --bless to accept an intentional change",
+            threshold * 100.0
+        );
+    }
+    ok
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (scale, iters) = if quick {
-        (Scale::Smoke, 5)
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let bless = args.iter().any(|a| a == "--bless");
+    let (scale, scale_label, iters) = if quick {
+        (Scale::Smoke, "smoke", 5)
     } else {
-        (Scale::Paper, 3)
+        (Scale::Paper, "paper", 3)
     };
     let cfg = scale.system();
 
@@ -111,9 +281,21 @@ fn main() {
         ),
     ];
 
-    let json = render_json(&runs);
     // Always land at the workspace root regardless of bench CWD.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    std::fs::write(path, &json).expect("write BENCH_sim.json");
-    println!("wrote {path}:\n{json}");
+    if check {
+        let ok = check_runs(&runs, scale_label, path);
+        if bless {
+            let json = render_json(scale_label, &runs);
+            std::fs::write(path, &json).expect("write BENCH_sim.json");
+            println!("blessed {path}:\n{json}");
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+    } else {
+        let json = render_json(scale_label, &runs);
+        std::fs::write(path, &json).expect("write BENCH_sim.json");
+        println!("wrote {path}:\n{json}");
+    }
 }

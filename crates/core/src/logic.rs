@@ -5,6 +5,7 @@ use crate::merge::{MergeAction, MergeConfig, MergeStats, MergeUnit, Waiter};
 use crate::sync::GroupSyncTable;
 use cais_engine::Msg;
 use noc_sim::{Packet, SwitchCtx, SwitchLogic};
+use sim_core::profile::{prof_scope, Subsystem};
 use sim_core::rng::JitterRng;
 use sim_core::{FastHash, GpuId, GroupId, PlaneId, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -155,25 +156,32 @@ impl SwitchLogic<Msg> for CaisLogic {
                 cais: true,
             } => {
                 let mut out = std::mem::take(&mut self.scratch);
-                self.merge.on_load_req(
-                    now,
-                    plane,
-                    addr,
-                    bytes,
-                    Waiter {
-                        requester,
-                        tb,
-                        tile,
-                    },
-                    &mut out,
-                );
+                {
+                    let _prof = prof_scope(Subsystem::MergeTable);
+                    self.merge.on_load_req(
+                        now,
+                        plane,
+                        addr,
+                        bytes,
+                        Waiter {
+                            requester,
+                            tb,
+                            tile,
+                        },
+                        &mut out,
+                    );
+                }
                 self.apply(&mut out, ctx);
                 self.scratch = out;
                 self.arm_timer(now, ctx);
             }
             Msg::LoadResp { addr, bytes, .. } => {
                 let mut out = std::mem::take(&mut self.scratch);
-                if self.merge.on_load_resp(now, plane, addr, bytes, &mut out) {
+                let consumed = {
+                    let _prof = prof_scope(Subsystem::MergeTable);
+                    self.merge.on_load_resp(now, plane, addr, bytes, &mut out)
+                };
+                if consumed {
                     self.apply(&mut out, ctx);
                 } else {
                     ctx.forward(pkt);
@@ -189,8 +197,11 @@ impl SwitchLogic<Msg> for CaisLogic {
                 cais: true,
             } => {
                 let mut out = std::mem::take(&mut self.scratch);
-                self.merge
-                    .on_reduce(now, plane, addr, bytes, src, contribs, tile, &mut out);
+                {
+                    let _prof = prof_scope(Subsystem::MergeTable);
+                    self.merge
+                        .on_reduce(now, plane, addr, bytes, src, contribs, tile, &mut out);
+                }
                 self.apply(&mut out, ctx);
                 self.scratch = out;
                 self.arm_timer(now, ctx);
@@ -210,10 +221,13 @@ impl SwitchLogic<Msg> for CaisLogic {
         let plane = PlaneId(key as u16);
         self.timer_armed.remove(&plane);
         let mut out = std::mem::take(&mut self.scratch);
-        if let Some(rng) = &mut self.fault_rng {
-            self.merge.inject_entry_faults(now, plane, rng, &mut out);
-        }
-        let remain = self.merge.sweep(now, plane, &mut out);
+        let remain = {
+            let _prof = prof_scope(Subsystem::MergeTable);
+            if let Some(rng) = &mut self.fault_rng {
+                self.merge.inject_entry_faults(now, plane, rng, &mut out);
+            }
+            self.merge.sweep(now, plane, &mut out)
+        };
         self.apply(&mut out, ctx);
         self.scratch = out;
         if remain && self.timer_armed.insert(plane) {

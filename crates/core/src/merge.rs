@@ -9,7 +9,9 @@
 //! timeout-based forward-progress mechanism bound the table.
 
 use sim_core::rng::JitterRng;
-use sim_core::{Addr, FastHash, GpuId, PlaneId, SimDuration, SimTime, TbId, TileId};
+use sim_core::{
+    Addr, FastHash, GpuId, PlaneId, SimDuration, SimTime, Slab, SlotHandle, SmallVec, TbId, TileId,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// A queued load requester.
@@ -149,17 +151,27 @@ pub enum MergeAction {
     },
 }
 
+/// Inline capacity for waiter/contributor lists: a full session on the
+/// paper's 8-GPU node has at most `n_gpus - 1 = 7` participants, so the
+/// common case never heap-allocates.
+const INLINE_PARTICIPANTS: usize = 8;
+
+// The size gap between variants is the inline waiter buffer — the whole
+// point of the SmallVec. Entries live in a contiguous slab sized by the
+// merge-table capacity model, so the fixed footprint is intended; boxing
+// the large variant would put the hot path back on the heap.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum SessionKind {
     LoadWait {
-        waiters: Vec<Waiter>,
+        waiters: SmallVec<Waiter, INLINE_PARTICIPANTS>,
     },
     LoadReady {
         served: u32,
     },
     Reduction {
         contribs: u32,
-        contributors: Vec<GpuId>,
+        contributors: SmallVec<GpuId, INLINE_PARTICIPANTS>,
         tile: Option<TileId>,
     },
 }
@@ -177,7 +189,12 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Port {
-    entries: HashMap<Addr, Entry, FastHash>,
+    /// Address → live session, with the session records themselves in a
+    /// recycled [`Slab`] arena so steady-state open/close touches the
+    /// heap only when the table grows past its high-water mark. Handles
+    /// in the index are always live (index and slab mutate together).
+    index: HashMap<Addr, SlotHandle, FastHash>,
+    sessions: Slab<Entry>,
     occupancy: u64,
     reduce_occ: u64,
     load_occ: u64,
@@ -237,7 +254,7 @@ impl MergeUnit {
 
     /// True if any session is open (drives timer scheduling).
     pub fn has_entries(&self) -> bool {
-        self.ports.values().any(|p| !p.entries.is_empty())
+        self.ports.values().any(|p| !p.index.is_empty())
     }
 
     fn full_load_count(&self) -> u32 {
@@ -268,7 +285,8 @@ impl MergeUnit {
         let port = self.ports.entry(port_key).or_default();
         let prior = port.history.get(&addr).copied().unwrap_or(0);
 
-        if let Some(entry) = port.entries.get_mut(&addr) {
+        if let Some(&h) = port.index.get(&addr) {
+            let entry = port.sessions.get_mut(h).expect("indexed session is live");
             entry.count += 1;
             entry.last_request = now;
             entry.last_access = now;
@@ -332,20 +350,18 @@ impl MergeUnit {
         port.occupancy += need;
         port.load_occ += need;
         Self::note_peak(&mut self.stats, port);
-        port.entries.insert(
-            addr,
-            Entry {
-                kind: SessionKind::LoadWait {
-                    waiters: vec![waiter],
-                },
-                bytes,
-                occupancy: need,
-                count: 1,
-                first_request: now,
-                last_request: now,
-                last_access: now,
+        let h = port.sessions.insert(Entry {
+            kind: SessionKind::LoadWait {
+                waiters: std::iter::once(waiter).collect(),
             },
-        );
+            bytes,
+            occupancy: need,
+            count: 1,
+            first_request: now,
+            last_request: now,
+            last_access: now,
+        });
+        port.index.insert(addr, h);
         self.stats.loads_forwarded += 1;
         out.push(MergeAction::ForwardLoad {
             waiter,
@@ -371,9 +387,10 @@ impl MergeUnit {
             return false;
         };
         let prior = port.history.get(&addr).copied().unwrap_or(0);
-        let Some(entry) = port.entries.get_mut(&addr) else {
+        let Some(&h) = port.index.get(&addr) else {
             return false;
         };
+        let entry = port.sessions.get_mut(h).expect("indexed session is live");
         let SessionKind::LoadWait { waiters } = &mut entry.kind else {
             // A bypassed request's response while data is already cached:
             // let it through unchanged.
@@ -398,7 +415,7 @@ impl MergeUnit {
             let served = waiters.len() as u32;
             entry.kind = SessionKind::LoadReady { served };
             if Self::make_room(&self.cfg, &mut self.stats, port, bytes, out) {
-                let entry = port.entries.get_mut(&addr).expect("still resident");
+                let entry = port.sessions.get_mut(h).expect("still resident");
                 entry.occupancy += bytes;
                 port.occupancy += bytes;
                 port.load_occ += bytes;
@@ -433,11 +450,12 @@ impl MergeUnit {
         let port = self.ports.entry(port_key).or_default();
         let prior = port.history.get(&addr).copied().unwrap_or(0);
 
-        if let Some(entry) = port.entries.get_mut(&addr) {
+        if let Some(&h) = port.index.get(&addr) {
+            let entry = port.sessions.get_mut(h).expect("indexed session is live");
             if let SessionKind::Reduction {
                 contribs: acc,
                 contributors,
-                ..
+                tile,
             } = &mut entry.kind
             {
                 *acc += contribs;
@@ -446,14 +464,11 @@ impl MergeUnit {
                 entry.last_request = now;
                 entry.last_access = now;
                 if *acc + prior >= full {
-                    let (total, who, tile) = match &entry.kind {
-                        SessionKind::Reduction {
-                            contribs,
-                            contributors,
-                            tile,
-                        } => (*contribs, contributors.clone(), *tile),
-                        _ => unreachable!(),
-                    };
+                    let total = *acc;
+                    let tile = *tile;
+                    // The session is released below, so its contributor
+                    // list can be moved out instead of cloned.
+                    let who = std::mem::take(contributors);
                     out.push(MergeAction::FlushReduce {
                         addr,
                         bytes: entry.bytes,
@@ -461,8 +476,8 @@ impl MergeUnit {
                         tile,
                     });
                     self.stats.reduce_flushes += 1;
-                    for gpu in who {
-                        out.push(MergeAction::GrantCredit { gpu });
+                    for gpu in &who {
+                        out.push(MergeAction::GrantCredit { gpu: *gpu });
                     }
                     Self::release(&mut self.stats, port, addr, full);
                 }
@@ -512,22 +527,20 @@ impl MergeUnit {
         port.occupancy += need;
         port.reduce_occ += need;
         Self::note_peak(&mut self.stats, port);
-        port.entries.insert(
-            addr,
-            Entry {
-                kind: SessionKind::Reduction {
-                    contribs,
-                    contributors: vec![src],
-                    tile,
-                },
-                bytes,
-                occupancy: need,
-                count: 1,
-                first_request: now,
-                last_request: now,
-                last_access: now,
+        let h = port.sessions.insert(Entry {
+            kind: SessionKind::Reduction {
+                contribs,
+                contributors: std::iter::once(src).collect(),
+                tile,
             },
-        );
+            bytes,
+            occupancy: need,
+            count: 1,
+            first_request: now,
+            last_request: now,
+            last_access: now,
+        });
+        port.index.insert(addr, h);
         if contribs + prior >= full {
             // A successor session of an evicted one just completed.
             out.push(MergeAction::FlushReduce {
@@ -546,7 +559,7 @@ impl MergeUnit {
     pub fn has_entries_on(&self, plane: PlaneId) -> bool {
         self.ports
             .iter()
-            .any(|((pl, _), p)| *pl == plane && !p.entries.is_empty())
+            .any(|((pl, _), p)| *pl == plane && !p.index.is_empty())
     }
 
     /// Timeout sweep over one plane's ports: evicts sessions idle longer
@@ -561,10 +574,12 @@ impl MergeUnit {
             .filter(|((pl, _), _)| *pl == plane)
             .map(|(_, p)| p)
         {
+            let sessions = &port.sessions;
             let mut expired: Vec<Addr> = port
-                .entries
+                .index
                 .iter()
-                .filter(|(_, e)| {
+                .filter(|(_, h)| {
+                    let e = sessions.get(**h).expect("indexed session is live");
                     now.saturating_since(e.last_access) > timeout
                         && !matches!(e.kind, SessionKind::LoadWait { .. })
                 })
@@ -585,7 +600,11 @@ impl MergeUnit {
         self.ports
             .iter()
             .filter(|((pl, _), _)| *pl == plane)
-            .flat_map(|(_, p)| p.entries.values())
+            .flat_map(|(_, p)| {
+                p.index
+                    .values()
+                    .map(|h| p.sessions.get(*h).expect("indexed session is live"))
+            })
             .any(|e| {
                 !matches!(e.kind, SessionKind::LoadWait { .. })
                     || now.saturating_since(e.last_access) <= timeout
@@ -625,7 +644,7 @@ impl MergeUnit {
             .filter(|((pl, _), _)| *pl == plane)
             .map(|(_, p)| p)
         {
-            let mut addrs: Vec<Addr> = port.entries.keys().copied().collect();
+            let mut addrs: Vec<Addr> = port.index.keys().copied().collect();
             addrs.sort_unstable();
             for addr in addrs {
                 if rng.next_f64() >= rate {
@@ -633,10 +652,11 @@ impl MergeUnit {
                 }
                 self.stats.entry_faults += 1;
                 port.faults += 1;
-                let entry = port.entries.get_mut(&addr).expect("resident entry");
+                let h = *port.index.get(&addr).expect("resident entry");
+                let entry = port.sessions.get_mut(h).expect("indexed session is live");
                 if let SessionKind::LoadWait { waiters } = &mut entry.kind {
                     let bytes = entry.bytes;
-                    for w in std::mem::take(waiters) {
+                    for &w in &std::mem::take(waiters) {
                         self.stats.loads_forwarded += 1;
                         out.push(MergeAction::ForwardLoad {
                             waiter: w,
@@ -672,9 +692,11 @@ impl MergeUnit {
         while port.occupancy + need > cap {
             // LRU among evictable sessions (Load-Wait must stay until its
             // response arrives).
+            let sessions = &port.sessions;
             let victim = port
-                .entries
+                .index
                 .iter()
+                .map(|(a, h)| (a, sessions.get(*h).expect("indexed session is live")))
                 .filter(|(_, e)| !matches!(e.kind, SessionKind::LoadWait { .. }))
                 .min_by_key(|(a, e)| (e.last_access, a.0))
                 .map(|(a, _)| *a);
@@ -688,7 +710,8 @@ impl MergeUnit {
     }
 
     fn evict_one(stats: &mut MergeStats, port: &mut Port, addr: Addr, out: &mut Vec<MergeAction>) {
-        let entry = port.entries.get(&addr).expect("victim exists");
+        let h = port.index.remove(&addr).expect("victim exists");
+        let entry = port.sessions.remove(h).expect("releasing live entry");
         if let SessionKind::Reduction {
             contribs,
             contributors,
@@ -713,22 +736,19 @@ impl MergeUnit {
             SessionKind::LoadReady { .. } | SessionKind::LoadWait { .. } => entry.count,
         };
         *port.history.entry(addr).or_insert(0) += progress;
-        let entry = port.entries.remove(&addr).expect("releasing live entry");
-        port.occupancy -= entry.occupancy;
-        match entry.kind {
-            SessionKind::Reduction { .. } => port.reduce_occ -= entry.occupancy,
-            _ => port.load_occ -= entry.occupancy,
-        }
-        if entry.count >= 2 {
-            stats.spread_sum_ps += entry.last_request.since(entry.first_request).as_ps() as u128;
-            stats.spread_count += 1;
-        }
+        Self::retire(stats, port, entry);
     }
 
     /// Releases a *completed* session (full participation reached).
     fn release(stats: &mut MergeStats, port: &mut Port, addr: Addr, _full: u32) {
         port.history.remove(&addr);
-        let entry = port.entries.remove(&addr).expect("releasing live entry");
+        let h = port.index.remove(&addr).expect("releasing live entry");
+        let entry = port.sessions.remove(h).expect("releasing live entry");
+        Self::retire(stats, port, entry);
+    }
+
+    /// Occupancy and spread accounting shared by eviction and release.
+    fn retire(stats: &mut MergeStats, port: &mut Port, entry: Entry) {
         port.occupancy -= entry.occupancy;
         match entry.kind {
             SessionKind::Reduction { .. } => port.reduce_occ -= entry.occupancy,

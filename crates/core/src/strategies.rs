@@ -34,7 +34,8 @@ use crate::index::Expr;
 use crate::logic::CaisLogic;
 use crate::merge::MergeConfig;
 use cais_engine::{
-    lower::GemmLowering, IdAlloc, Msg, PlannedKernel, Program, Strategy, SystemConfig,
+    lower::GemmLowering, ExecReport, IdAlloc, Msg, PlannedKernel, Program, SimError, Strategy,
+    SystemConfig, SystemSim,
 };
 use gpu_sim::{KernelCost, KernelDesc, MemOp, MemOpKind, Phase, ReadyPolicy, TbDesc};
 use llm_workload::{CollKind, Dfg, NodeId, NodeKind};
@@ -292,6 +293,22 @@ impl Strategy for CaisStrategy {
     }
 
     fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>> {
+        Box::new(self.build_logic(cfg))
+    }
+
+    fn run(&self, cfg: SystemConfig, program: Program) -> Result<ExecReport, SimError> {
+        // Concrete `CaisLogic` so the fabric's per-packet dispatch
+        // monomorphizes instead of going through `Box<dyn SwitchLogic>`.
+        let logic = self.build_logic(&cfg);
+        SystemSim::new(cfg, program, logic).run()
+    }
+}
+
+impl CaisStrategy {
+    /// Builds the in-switch merge logic for `cfg`, shared by the boxed
+    /// [`Strategy::switch_logic`] path and the monomorphized
+    /// [`Strategy::run`] override.
+    fn build_logic(&self, cfg: &SystemConfig) -> CaisLogic {
         let (entry_fault_rate, degrade_threshold) = match &cfg.faults.merge_faults {
             Some(mf) => (mf.rate, mf.degrade_threshold),
             None => (0.0, u32::MAX),
@@ -304,15 +321,11 @@ impl Strategy for CaisStrategy {
             entry_fault_rate,
             degrade_threshold,
         };
-        Box::new(
-            CaisLogic::new(cfg.n_gpus, merge_cfg)
-                .with_group_expected(self.group_expected.borrow().clone())
-                .with_fault_seed(cfg.faults.seed),
-        )
+        CaisLogic::new(cfg.n_gpus, merge_cfg)
+            .with_group_expected(self.group_expected.borrow().clone())
+            .with_fault_seed(cfg.faults.seed)
     }
-}
 
-impl CaisStrategy {
     /// A plain (non-fused) node: one kernel per GPU.
     fn lower_node(&self, ctx: &mut LowerCtx, dfg: &Dfg, id: NodeId) {
         let node = dfg.node(id);

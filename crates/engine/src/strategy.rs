@@ -32,6 +32,22 @@ pub trait Strategy: Send {
     /// The in-switch logic this strategy runs (plain router, NVLS
     /// multicast/reduction, CAIS merge unit).
     fn switch_logic(&self, cfg: &SystemConfig) -> Box<dyn SwitchLogic<Msg>>;
+
+    /// Runs an already-lowered `program` on `cfg`.
+    ///
+    /// The default builds the dyn-boxed [`Strategy::switch_logic`] and
+    /// pays one virtual call per packet. Strategies override this to
+    /// construct their concrete logic type and instantiate a
+    /// monomorphized [`SystemSim`], so the whole run costs exactly one
+    /// virtual call — this method — at the strategy boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`SimError`] from [`SystemSim::run`].
+    fn run(&self, cfg: SystemConfig, program: Program) -> Result<ExecReport, SimError> {
+        let logic = self.switch_logic(&cfg);
+        SystemSim::new(cfg, program, logic).run()
+    }
 }
 
 /// Lowers and executes `dfg` under `strategy`, returning the report.
@@ -50,6 +66,5 @@ pub fn execute(
     let mut cfg = base_cfg.clone();
     strategy.tune(&mut cfg);
     let program = strategy.lower(dfg, &cfg);
-    let logic = strategy.switch_logic(&cfg);
-    SystemSim::new(cfg, program, logic).run()
+    strategy.run(cfg, program)
 }

@@ -5,22 +5,26 @@ use crate::error::{DeadlockDiag, SimError};
 use crate::msg::Msg;
 use crate::program::Program;
 use crate::report::{ExecReport, KernelSpan};
-use gpu_sim::{GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
+use gpu_sim::{GpuConfig, GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
 use noc_sim::{Delivery, Fabric, SwitchLogic};
+use sim_core::profile::{prof_scope, Subsystem};
 use sim_core::{
     Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime,
     TbId, TileId,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 #[derive(Debug, Default)]
 struct TileEntry {
     present: bool,
     fetching: bool,
     contribs: u32,
-    resume_waiters: Vec<TbId>,
+    /// Inline storage: almost every tile has at most a couple of waiting
+    /// TBs, so the common case never heap-allocates.
+    resume_waiters: sim_core::SmallVec<TbId, 4>,
     /// TBs whose readiness counter decrements when this tile lands.
-    ready_waiters: Vec<TbId>,
+    ready_waiters: sim_core::SmallVec<TbId, 4>,
 }
 
 #[derive(Debug, Default)]
@@ -32,10 +36,17 @@ struct ThrottleState {
 /// Executes a [`Program`] on a configured system with a given switch logic.
 ///
 /// Construct with [`SystemSim::new`], then call [`SystemSim::run`].
-pub struct SystemSim {
+///
+/// Generic over the switch-logic type so the per-packet callback
+/// monomorphizes to a direct call. Passing a concrete logic (possibly
+/// boxed, e.g. `Box<PureRouter>`) compiles a dedicated fabric with no
+/// virtual dispatch on the packet path; passing `Box<dyn SwitchLogic<Msg>>`
+/// keeps the old fully-dynamic behaviour for callers that select logic at
+/// runtime.
+pub struct SystemSim<L: SwitchLogic<Msg>> {
     cfg: SystemConfig,
     gpus: Vec<GpuSim>,
-    fabric: Fabric<Msg, Box<dyn SwitchLogic<Msg>>>,
+    fabric: Fabric<Msg, L>,
     now: SimTime,
 
     pending_kernels: Vec<Option<crate::program::PlannedKernel>>,
@@ -69,7 +80,7 @@ pub struct SystemSim {
     scratch_deliveries: Vec<Delivery<Msg>>,
 }
 
-impl std::fmt::Debug for SystemSim {
+impl<L: SwitchLogic<Msg>> std::fmt::Debug for SystemSim<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemSim")
             .field("now", &self.now)
@@ -78,26 +89,31 @@ impl std::fmt::Debug for SystemSim {
     }
 }
 
-impl SystemSim {
+impl<L: SwitchLogic<Msg>> SystemSim<L> {
     /// Builds a system ready to run `program` with `logic` installed in
     /// every switch plane.
     ///
     /// # Panics
     ///
     /// Panics if the program fails validation.
-    pub fn new(cfg: SystemConfig, program: Program, logic: Box<dyn SwitchLogic<Msg>>) -> SystemSim {
+    pub fn new(cfg: SystemConfig, program: Program, logic: L) -> SystemSim<L> {
         program
             .validate()
             .unwrap_or_else(|e| panic!("invalid program: {e}"));
 
+        // One shared config for the whole system; only a straggler GPU
+        // (different compute scale) gets its own copy.
+        let shared_cfg: Arc<GpuConfig> = Arc::new(cfg.gpu.clone());
         let gpus: Vec<GpuSim> = (0..cfg.n_gpus)
             .map(|i| {
-                let mut gpu_cfg = cfg.gpu.clone();
-                if let Some(s) = &cfg.faults.straggler {
-                    if s.gpu == i {
-                        gpu_cfg.compute_scale = s.compute_factor;
+                let gpu_cfg = match &cfg.faults.straggler {
+                    Some(s) if s.gpu == i => {
+                        let mut c = cfg.gpu.clone();
+                        c.compute_scale = s.compute_factor;
+                        Arc::new(c)
                     }
-                }
+                    _ => Arc::clone(&shared_cfg),
+                };
                 GpuSim::new(gpu_cfg, cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678))
             })
             .collect();
@@ -222,6 +238,7 @@ impl SystemSim {
     /// fault injection force-delivered packets past their retransmit
     /// budget.
     pub fn run(mut self) -> Result<ExecReport, SimError> {
+        let _prof = prof_scope(Subsystem::EngineLoop);
         let roots: Vec<usize> = self
             .dep_remaining
             .iter()
@@ -233,9 +250,44 @@ impl SystemSim {
             self.launch_kernel(SimTime::ZERO, i);
         }
         loop {
-            self.drain_effects();
-            let next = self.next_event_time();
-            let Some(t) = next else { break };
+            {
+                let _p = prof_scope(Subsystem::DrainEffects);
+                self.drain_effects();
+            }
+            // One scan finds both the earliest pending time and which
+            // components own it, so the advance pass below touches only
+            // the components that actually have work at `t`. The global
+            // minimum guarantees any due component's next event is at
+            // exactly `t`, and GPU handlers cannot enqueue into other
+            // components mid-advance (cross-component traffic flows
+            // through drained effects), so skipping the rest is exact.
+            let mut t: Option<SimTime> = None;
+            let mut gpu_due: u64 = 0;
+            let masked = self.gpus.len() <= 64;
+            for (i, gpu) in self.gpus.iter().enumerate() {
+                let Some(gt) = gpu.next_time() else { continue };
+                match t {
+                    Some(cur) if gt > cur => {}
+                    Some(cur) if gt == cur => gpu_due |= 1u64.checked_shl(i as u32).unwrap_or(0),
+                    _ => {
+                        t = Some(gt);
+                        gpu_due = 1u64.checked_shl(i as u32).unwrap_or(0);
+                    }
+                }
+            }
+            let mut fabric_due = false;
+            if let Some(ft) = self.fabric.next_time() {
+                match t {
+                    Some(cur) if ft > cur => {}
+                    Some(cur) if ft == cur => fabric_due = true,
+                    _ => {
+                        t = Some(ft);
+                        gpu_due = 0;
+                        fabric_due = true;
+                    }
+                }
+            }
+            let Some(t) = t else { break };
             if t > self.cfg.deadline {
                 return Err(SimError::DeadlineExceeded {
                     deadline: self.cfg.deadline,
@@ -243,22 +295,30 @@ impl SystemSim {
                     kernels_remaining: self.kernels_remaining,
                 });
             }
-            for gpu in &mut self.gpus {
-                gpu.advance(t);
+            {
+                let _p = prof_scope(Subsystem::GpuAdvance);
+                if masked {
+                    let mut mask = gpu_due;
+                    while mask != 0 {
+                        let i = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        self.gpus[i].advance(t);
+                    }
+                } else {
+                    // >64 GPUs overflows the due bitmask; fall back to
+                    // advancing everyone (correct, just does idle peeks).
+                    for gpu in &mut self.gpus {
+                        gpu.advance(t);
+                    }
+                }
             }
-            self.fabric.advance(t);
+            if fabric_due || !masked {
+                let _p = prof_scope(Subsystem::FabricAdvance);
+                self.fabric.advance(t);
+            }
             self.now = t;
         }
         self.finish()
-    }
-
-    fn next_event_time(&self) -> Option<SimTime> {
-        let g = self.gpus.iter().filter_map(|g| g.next_time()).min();
-        let f = self.fabric.next_time();
-        match (g, f) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
     }
 
     fn drain_effects(&mut self) {
@@ -267,16 +327,17 @@ impl SystemSim {
         loop {
             let mut any = false;
             for gi in 0..self.gpus.len() {
+                if !self.gpus[gi].has_effects() {
+                    continue;
+                }
                 self.gpus[gi].drain_effects_into(&mut effects);
-                if !effects.is_empty() {
-                    any = true;
-                    for (t, e) in effects.drain(..) {
-                        self.handle_gpu_effect(t, GpuId(gi as u16), e);
-                    }
+                any = true;
+                for (t, e) in effects.drain(..) {
+                    self.handle_gpu_effect(t, GpuId(gi as u16), e);
                 }
             }
-            self.fabric.drain_deliveries_into(&mut deliveries);
-            if !deliveries.is_empty() {
+            if self.fabric.has_deliveries() {
+                self.fabric.drain_deliveries_into(&mut deliveries);
                 any = true;
                 for d in deliveries.drain(..) {
                     self.handle_delivery(d);
@@ -298,7 +359,8 @@ impl SystemSim {
         self.kernel_spans.insert(
             kid,
             KernelSpan {
-                name: planned.desc.name.clone(),
+                // Interned symbol: a Copy, not a per-launch heap clone.
+                name: planned.desc.name,
                 gpu: planned.gpu,
                 start: now,
                 end: now,
@@ -335,10 +397,10 @@ impl SystemSim {
         entry.present = true;
         let waiters = std::mem::take(&mut entry.resume_waiters);
         let ready = std::mem::take(&mut entry.ready_waiters);
-        for tb in waiters {
+        for &tb in waiters.iter() {
             self.dec_blocked(now, tb);
         }
-        for tb in ready {
+        for &tb in ready.iter() {
             let rem = self
                 .tb_ready_remaining
                 .get_mut(tb)

@@ -6,6 +6,7 @@ use sim_core::rng::JitterRng;
 use sim_core::{EventQueue, FastHash, GroupId, KernelId, SimDuration, SimTime, TbId, TileId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// An observable action produced by the GPU, drained by the engine.
 #[derive(Debug, Clone)]
@@ -116,7 +117,9 @@ enum GpuEvent {
 /// memory traffic, resolve dependencies and synchronize groups.
 #[derive(Debug)]
 pub struct GpuSim {
-    cfg: GpuConfig,
+    /// Shared, immutable configuration. An `Arc` so a multi-GPU system
+    /// builds the config once instead of deep-cloning it per GPU.
+    cfg: Arc<GpuConfig>,
     now: SimTime,
     queue: EventQueue<GpuEvent>,
     tbs: HashMap<TbId, TbRuntime, FastHash>,
@@ -140,8 +143,11 @@ pub struct GpuSim {
 }
 
 impl GpuSim {
-    /// Creates an idle GPU with a deterministic jitter stream.
-    pub fn new(cfg: GpuConfig, seed: u64) -> GpuSim {
+    /// Creates an idle GPU with a deterministic jitter stream. Accepts an
+    /// owned config or a shared `Arc<GpuConfig>` (preferred when many
+    /// GPUs share one config).
+    pub fn new(cfg: impl Into<Arc<GpuConfig>>, seed: u64) -> GpuSim {
+        let cfg = cfg.into();
         let slots = cfg.total_slots();
         GpuSim {
             cfg,
@@ -310,6 +316,12 @@ impl GpuSim {
     pub fn drain_effects_into(&mut self, out: &mut Vec<(SimTime, GpuEffect)>) {
         out.clear();
         std::mem::swap(&mut self.effects, out);
+    }
+
+    /// True when effects are pending; lets drivers skip the drain swap
+    /// for idle GPUs in the hot drain loop.
+    pub fn has_effects(&self) -> bool {
+        !self.effects.is_empty()
     }
 
     /// True when no TB is queued, running, blocked or pending.
@@ -487,8 +499,20 @@ impl GpuSim {
                 self.complete_tb(now, tb);
                 return;
             }
-            // Clone the phase to end the borrow; phases are small.
-            let phase = rt.desc.phases[phase_idx].clone();
+            // End the borrow by lifting the phase out. Every phase runs
+            // exactly once (blocked/yielded TBs resume at the *next*
+            // phase index), so the heap payloads (`ops`, `tiles`) can be
+            // moved instead of deep-cloned on every step.
+            let phase = match &mut rt.desc.phases[phase_idx] {
+                Phase::Compute(d) => Phase::Compute(*d),
+                Phase::IssueMem { ops, wait } => Phase::IssueMem {
+                    ops: std::mem::take(ops),
+                    wait: *wait,
+                },
+                Phase::SyncGroup(kind) => Phase::SyncGroup(*kind),
+                Phase::SignalTile(tile) => Phase::SignalTile(*tile),
+                Phase::WaitTiles(tiles) => Phase::WaitTiles(std::mem::take(tiles)),
+            };
             match phase {
                 Phase::Compute(d) => {
                     let d = if self.cfg.compute_scale == 1.0 {

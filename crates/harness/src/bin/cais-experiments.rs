@@ -3,6 +3,7 @@
 //! ```text
 //! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|sensitivity|resilience|all]
 //!                  [--smoke] [--jobs N] [--timeout-secs N]
+//! cais-experiments --profile [--smoke]
 //! ```
 //!
 //! `--jobs N` bounds the sweep worker pool (default: the host's
@@ -12,9 +13,20 @@
 //! cells) in its table; `--timeout-secs N` arms a per-job wall-clock
 //! watchdog whose victims become TIMEOUT lines instead. Either makes the
 //! process exit with status 1.
+//!
+//! `--profile` runs the representative workload shapes single-threaded
+//! and prints the simulator's per-subsystem self-profiler breakdown;
+//! build with `--features profiler` to populate it (see
+//! [`cais_harness::profile`]).
 
 use cais_harness::{runner::Scale, sweep, Table};
 use std::time::{Duration, Instant};
+
+/// Per-thread allocation counters for `--profile` runs; a transparent
+/// pass-through to the system allocator without the `profiler` feature.
+#[cfg(feature = "profiler")]
+#[global_allocator]
+static COUNTING_ALLOC: sim_core::profile::CountingAllocator = sim_core::profile::CountingAllocator;
 
 /// Extracts the value of `--<name> N` / `--<name>=N` as a positive
 /// integer, exiting with status 2 on a malformed value.
@@ -44,6 +56,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    if args.iter().any(|a| a == "--profile") {
+        cais_harness::profile::run(scale);
+        return;
+    }
     let jobs = parse_flag(&args, "jobs")
         .map(|n| n as usize)
         .unwrap_or_else(sweep::default_jobs);

@@ -3,12 +3,12 @@
 use crate::link::{Direction, EnqueueEffect, Link};
 use crate::packet::{Delivery, FlowClass, Hop, Packet, Payload};
 use crate::report::{FabricReport, LinkUsage, ResilienceCounters};
+use sim_core::profile::{prof_scope, Subsystem};
 use sim_core::rng::JitterRng;
 use sim_core::{
-    Bandwidth, EventQueue, FastHash, FaultPlan, GpuId, PlaneId, SimDuration, SimTime,
+    Bandwidth, EventQueue, FaultPlan, GpuId, PlaneId, SimDuration, SimTime, Slab, SlotHandle,
     WindowSchedule,
 };
-use std::collections::HashMap;
 
 /// Static fabric parameters (Sec. IV-A of the paper).
 #[derive(Debug, Clone)]
@@ -124,7 +124,11 @@ pub trait SwitchLogic<P: Payload> {
     }
 }
 
-impl<P: Payload> SwitchLogic<P> for Box<dyn SwitchLogic<P>> {
+// Covers both `Box<dyn SwitchLogic<P>>` (the thin dyn entry point kept at
+// strategy construction) and `Box<ConcreteLogic>` (where the forwarding
+// calls inline away, so a monomorphized fabric pays no virtual dispatch
+// per packet).
+impl<P: Payload, L: SwitchLogic<P> + ?Sized> SwitchLogic<P> for Box<L> {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<P>, ctx: &mut SwitchCtx<P>) {
         (**self).on_packet(now, pkt, ctx);
     }
@@ -166,9 +170,12 @@ struct FabricFaults {
     degrade_factor: f64,
     retx: sim_core::RetxConfig,
     links: Vec<LinkFault>,
-    /// Drop count per in-flight packet id. Entries are removed on delivery;
-    /// the map is never iterated, so its order cannot leak into results.
-    attempts: HashMap<u64, u32, FastHash>,
+    /// Per-packet drop counts, held in a generation-tagged slab arena.
+    /// A packet stores its [`SlotHandle`] (allocated lazily at the first
+    /// drop) and the slot is recycled on delivery or budget exhaustion;
+    /// the arena is never iterated, so slot order cannot leak into
+    /// results, and stale handles resolve to `None` by construction.
+    attempts: Slab<u32>,
     counters: ResilienceCounters,
 }
 
@@ -195,7 +202,7 @@ impl FabricFaults {
             degrade_factor: plan.degrade.as_ref().map_or(1.0, |d| d.factor),
             retx: plan.retx.clone(),
             links,
-            attempts: HashMap::default(),
+            attempts: Slab::new(),
             counters: ResilienceCounters::default(),
         }
     }
@@ -207,23 +214,35 @@ impl FabricFaults {
     /// A packet that exhausts its retransmit budget is force-delivered so
     /// the simulation always terminates; the exhaustion is counted and the
     /// engine turns it into a typed error at the end of the run.
-    fn departure_fate(&mut self, li: usize, pkt_id: u64) -> Option<SimDuration> {
+    fn departure_fate(&mut self, li: usize, retx: &mut Option<SlotHandle>) -> Option<SimDuration> {
         if self.drop_rate == 0.0 && self.corrupt_rate == 0.0 {
             return None;
         }
         let r = self.links[li].rng.next_f64();
         if r >= self.drop_rate + self.corrupt_rate {
-            self.attempts.remove(&pkt_id);
+            if let Some(h) = retx.take() {
+                self.attempts.remove(h);
+            }
             return None;
         }
-        let attempt = self.attempts.entry(pkt_id).or_insert(0);
-        *attempt += 1;
-        if *attempt > self.retx.max_retries {
-            self.attempts.remove(&pkt_id);
+        let h = match *retx {
+            Some(h) => h,
+            None => {
+                let h = self.attempts.insert(0);
+                *retx = Some(h);
+                h
+            }
+        };
+        let slot = self.attempts.get_mut(h).expect("live retransmit slot");
+        *slot += 1;
+        let attempt = *slot;
+        if attempt > self.retx.max_retries {
+            self.attempts.remove(h);
+            *retx = None;
             self.counters.budget_exhausted += 1;
             return None;
         }
-        let exp = (*attempt - 1).min(self.retx.backoff_cap_exp);
+        let exp = (attempt - 1).min(self.retx.backoff_cap_exp);
         if r < self.drop_rate {
             self.counters.drops += 1;
         } else {
@@ -337,6 +356,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             dst,
             plane,
             hop: Hop::ToSwitch,
+            retx: None,
             payload,
         };
         // External callers only inject once the fabric has been advanced
@@ -398,11 +418,11 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             // Superseded by a burst preemption.
             return;
         }
-        if let Some((pkt, arrive_at)) = self.links[li].finish_burst(now) {
+        if let Some((mut pkt, arrive_at)) = self.links[li].finish_burst(now) {
             let fate = self
                 .faults
                 .as_mut()
-                .and_then(|f| f.departure_fate(li, pkt.id));
+                .and_then(|f| f.departure_fate(li, &mut pkt.retx));
             if let Some(backoff) = fate {
                 // The wire time was spent (busy/bytes already accounted by
                 // the link) but the packet was lost: retransmit after the
@@ -446,11 +466,11 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                         f.counters.degraded_serves += 1;
                     }
                 }
-                if let Some((pkt, arrive_at)) = out.departed {
+                if let Some((mut pkt, arrive_at)) = out.departed {
                     let fate = self
                         .faults
                         .as_mut()
-                        .and_then(|f| f.departure_fate(li, pkt.id));
+                        .and_then(|f| f.departure_fate(li, &mut pkt.retx));
                     if let Some(backoff) = fate {
                         self.requeue_for_retx(li, pkt, out.free_at + backoff);
                     } else {
@@ -472,7 +492,10 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             plane,
             actions: std::mem::take(&mut self.scratch_actions),
         };
-        f(&mut self.logic, &mut ctx);
+        {
+            let _prof = prof_scope(Subsystem::SwitchLogic);
+            f(&mut self.logic, &mut ctx);
+        }
         let mut actions = ctx.actions;
         for action in actions.drain(..) {
             match action {
@@ -487,6 +510,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                         dst,
                         plane,
                         hop: Hop::ToGpu,
+                        retx: None,
                         payload,
                     };
                     self.enqueue_on_link(now, pkt, false);
@@ -560,6 +584,12 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     /// Takes all payloads delivered to GPUs since the last drain.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery<P>> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    /// True when deliveries are pending; lets drivers skip the drain
+    /// swap in the hot loop when nothing arrived.
+    pub fn has_deliveries(&self) -> bool {
+        !self.deliveries.is_empty()
     }
 
     /// Like [`Fabric::drain_deliveries`], but swaps the deliveries into

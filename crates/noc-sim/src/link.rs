@@ -133,7 +133,9 @@ impl<P> Link<P> {
             latency,
             header_bytes,
             segment_bytes,
-            vcs: (0..vc_count).map(|_| VecDeque::new()).collect(),
+            // Seeded with room for a typical in-flight window so the hot
+            // enqueue path never reallocates mid-run.
+            vcs: (0..vc_count).map(|_| VecDeque::with_capacity(32)).collect(),
             rr: 0,
             slowdown: 1.0,
             serving: false,
@@ -429,6 +431,7 @@ mod tests {
             dst: GpuId(1),
             plane: PlaneId(0),
             hop: Hop::ToSwitch,
+            retx: None,
             payload: id,
         }
     }

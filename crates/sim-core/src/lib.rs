@@ -13,9 +13,12 @@
 //! * All event ordering is deterministic: ties at the same timestamp are
 //!   broken by a monotonically increasing sequence number, never by hash or
 //!   allocation order.
-//! * No global state and no wall-clock access anywhere; randomness is always
-//!   an explicitly seeded [`rng::JitterRng`] owned by the component that
-//!   needs it.
+//! * No global state and no wall-clock access anywhere in simulation
+//!   paths; randomness is always an explicitly seeded [`rng::JitterRng`]
+//!   owned by the component that needs it. Two observe-only exceptions
+//!   are documented in place: the label interner ([`intern`]) and the
+//!   feature-gated self-profiler ([`profile`]). Neither can feed a value
+//!   back into simulation state.
 //!
 //! # Example
 //!
@@ -34,8 +37,12 @@
 pub mod bandwidth;
 pub mod fault;
 pub mod ids;
+pub mod intern;
+pub mod profile;
 pub mod queue;
 pub mod rng;
+pub mod slab;
+pub mod smallvec;
 pub mod stats;
 pub mod time;
 
@@ -46,5 +53,9 @@ pub use fault::{
 pub use ids::{
     Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, IdIndex, KernelId, PlaneId, TbId, TileId,
 };
+pub use intern::Symbol;
+pub use profile::{prof_scope, Subsystem};
 pub use queue::EventQueue;
+pub use slab::{Slab, SlotHandle};
+pub use smallvec::SmallVec;
 pub use time::{SimDuration, SimTime};

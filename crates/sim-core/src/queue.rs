@@ -17,8 +17,12 @@ use std::collections::BinaryHeap;
 
 /// log2 of the bucket width in picoseconds (8.192 ns per bucket).
 const DAY_SHIFT: u32 = 13;
-/// Number of wheel buckets; the window spans ~67 us.
-const N_BUCKETS: usize = 1 << 13;
+/// Number of wheel buckets; the window spans ~17 us. Sized so the
+/// wheel covers the event horizon of a busy run (queue peaks sit in
+/// the low thousands, clustered near the cursor) while keeping
+/// construction and teardown of per-component queues cheap; rarer
+/// far-future events (timers) ride the overflow heap.
+const N_BUCKETS: usize = 1 << 11;
 const DAY_MASK: u64 = N_BUCKETS as u64 - 1;
 
 fn day_of(t: SimTime) -> u64 {

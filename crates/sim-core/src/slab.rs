@@ -1,0 +1,257 @@
+//! Generation-tagged slab arena: recycled slots with handles that can
+//! never alias a later occupant.
+//!
+//! Hot paths (merge-table sessions, retransmission state) create and
+//! destroy many short-lived records. A [`Slab`] keeps them in one
+//! contiguous buffer with a free list, so steady-state insert/remove does
+//! not touch the heap. Each slot carries a generation counter, bumped on
+//! every removal; a [`SlotHandle`] stores the generation it was minted
+//! with, so a stale handle held across a recycle simply resolves to
+//! `None` instead of silently reading the new occupant.
+//!
+//! Slot reuse order is LIFO on the free list and therefore a pure
+//! function of the insert/remove sequence — deterministic across runs.
+
+/// A generation-tagged reference into a [`Slab`].
+///
+/// Deliberately implements neither `Ord` nor `Hash`: slot indices depend
+/// on allocation order, so ordering or hashing by handle would smuggle
+/// arena layout into simulation results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotHandle {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlotHandle {
+    /// The raw slot index (for capacity accounting / diagnostics only).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab arena with generation-tagged handles. See the module docs.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Slab<T> {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `val`, reusing a free slot when one exists.
+    pub fn insert(&mut self, val: T) -> SlotHandle {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(val);
+            SlotHandle { idx, gen: slot.gen }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                val: Some(val),
+            });
+            SlotHandle { idx, gen: 0 }
+        }
+    }
+
+    /// The value behind `h`, or `None` when `h` is stale (its slot was
+    /// removed, and possibly recycled, since the handle was minted).
+    pub fn get(&self, h: SlotHandle) -> Option<&T> {
+        self.slots
+            .get(h.idx as usize)
+            .filter(|s| s.gen == h.gen)
+            .and_then(|s| s.val.as_ref())
+    }
+
+    /// Mutable access to the value behind `h`; `None` when stale.
+    pub fn get_mut(&mut self, h: SlotHandle) -> Option<&mut T> {
+        self.slots
+            .get_mut(h.idx as usize)
+            .filter(|s| s.gen == h.gen)
+            .and_then(|s| s.val.as_mut())
+    }
+
+    /// Removes and returns the value behind `h`, bumping the slot's
+    /// generation so `h` (and any copy of it) goes stale. `None` when the
+    /// handle is already stale.
+    pub fn remove(&mut self, h: SlotHandle) -> Option<T> {
+        let slot = self.slots.get_mut(h.idx as usize)?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.idx);
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Drops every live value and recycles all slots. Generations keep
+    /// advancing, so handles from before the clear stay stale.
+    pub fn clear(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.val.take().is_some() {
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_does_not_alias() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        slab.remove(a);
+        let b = slab.insert(2u32);
+        // Same physical slot, different generation.
+        assert_eq!(a.index(), b.index());
+        assert_eq!(slab.get(a), None, "stale handle must not see new value");
+        assert_eq!(slab.get_mut(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.get(b), Some(&2));
+    }
+
+    #[test]
+    fn reuse_order_is_lifo() {
+        let mut slab = Slab::with_capacity(4);
+        let h: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        slab.remove(h[1]);
+        slab.remove(h[3]);
+        assert_eq!(slab.insert(10).index(), h[3].index());
+        assert_eq!(slab.insert(11).index(), h[1].index());
+    }
+
+    /// Property test: across thousands of seeded random insert/remove
+    /// interleavings (the shape of merge-session and retransmission
+    /// churn), a live handle always resolves to exactly the value it was
+    /// minted for and a removed handle never resolves again — even after
+    /// its slot is recycled many times.
+    #[test]
+    fn randomized_recycling_never_aliases_handles() {
+        use crate::rng::JitterRng;
+        let mut rng = JitterRng::seed_from(0xCA15_5EED);
+        let mut slab: Slab<u64> = Slab::new();
+        let mut live: Vec<(SlotHandle, u64)> = Vec::new();
+        let mut stale: Vec<SlotHandle> = Vec::new();
+        let mut next_val = 0u64;
+        for step in 0..20_000u64 {
+            let insert = live.is_empty() || rng.next_below(100) < 55;
+            if insert {
+                let h = slab.insert(next_val);
+                // A recycled slot must never hand back a handle equal to
+                // one that was retired from the same slot.
+                assert!(
+                    stale.iter().all(|&s| s != h),
+                    "step {step}: recycled handle aliases a retired one"
+                );
+                live.push((h, next_val));
+                next_val += 1;
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let (h, v) = live.swap_remove(i);
+                assert_eq!(slab.remove(h), Some(v), "step {step}");
+                assert_eq!(slab.remove(h), None, "step {step}: double remove");
+                stale.push(h);
+            }
+            // Spot-check one live and one stale handle each step; the
+            // full sweep below catches anything the sampling missed.
+            if let Some(&(h, v)) = live.get(rng.next_below(live.len().max(1) as u64) as usize) {
+                assert_eq!(slab.get(h), Some(&v), "step {step}: live handle lost");
+            }
+            if !stale.is_empty() {
+                let s = stale[rng.next_below(stale.len() as u64) as usize];
+                assert_eq!(slab.get(s), None, "step {step}: stale handle resolved");
+            }
+        }
+        assert_eq!(slab.len(), live.len());
+        for &(h, v) in &live {
+            assert_eq!(slab.get(h), Some(&v));
+        }
+        for &s in &stale {
+            assert_eq!(slab.get(s), None);
+        }
+    }
+
+    #[test]
+    fn clear_invalidates_all_handles() {
+        let mut slab = Slab::new();
+        let h: Vec<_> = (0..3).map(|i| slab.insert(i)).collect();
+        slab.clear();
+        assert!(slab.is_empty());
+        for &hh in &h {
+            assert_eq!(slab.get(hh), None);
+        }
+        let fresh = slab.insert(9);
+        assert_eq!(slab.get(fresh), Some(&9));
+    }
+}

@@ -1,0 +1,285 @@
+//! Inline small-vector storage: a `Vec`-like container that keeps up to
+//! `N` elements inline and only touches the heap when it spills.
+//!
+//! Hot-path collections in the simulator (waiter lists, per-tick effect
+//! buffers) are almost always tiny — one or two entries — but `Vec`
+//! heap-allocates on the first push. [`SmallVec`] stores the common case
+//! in place. Once a small vector spills it stays spilled (`clear` keeps
+//! the heap buffer), so recycled scratch buffers retain their capacity.
+//!
+//! Hand-rolled because the workspace takes no external dependencies; the
+//! API is the small subset the simulator needs (`push`, `clear`, slice
+//! access via `Deref`, `Extend`).
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+
+/// A vector holding up to `N` elements inline before spilling to the
+/// heap. See the module docs.
+pub struct SmallVec<T, const N: usize> {
+    /// Live inline element count; meaningless once spilled.
+    len: usize,
+    spilled: bool,
+    inline: [MaybeUninit<T>; N],
+    heap: Vec<T>,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> SmallVec<T, N> {
+        SmallVec {
+            len: 0,
+            spilled: false,
+            // SAFETY: an array of `MaybeUninit` is trivially "initialized".
+            inline: unsafe { MaybeUninit::uninit().assume_init() },
+            heap: Vec::new(),
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len
+        }
+    }
+
+    /// True when no elements are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `val`, spilling to the heap on overflow of the inline
+    /// buffer.
+    pub fn push(&mut self, val: T) {
+        if !self.spilled {
+            if self.len < N {
+                self.inline[self.len].write(val);
+                self.len += 1;
+                return;
+            }
+            self.spill();
+        }
+        self.heap.push(val);
+    }
+
+    /// Removes the last element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            self.heap.pop()
+        } else if self.len > 0 {
+            self.len -= 1;
+            // SAFETY: slot `len` was live until the decrement above.
+            Some(unsafe { self.inline[self.len].as_ptr().read() })
+        } else {
+            None
+        }
+    }
+
+    /// Drops all elements. A spilled vector keeps its heap capacity, so
+    /// recycled buffers do not re-allocate.
+    pub fn clear(&mut self) {
+        if self.spilled {
+            self.heap.clear();
+        } else {
+            let n = self.len;
+            self.len = 0;
+            // SAFETY: the first `n` inline slots were live; `len` is
+            // zeroed first so a panic in a destructor cannot double-drop.
+            unsafe {
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                    self.inline.as_mut_ptr() as *mut T,
+                    n,
+                ));
+            }
+        }
+    }
+
+    /// The live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe { std::slice::from_raw_parts(self.inline.as_ptr() as *const T, self.len) }
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe { std::slice::from_raw_parts_mut(self.inline.as_mut_ptr() as *mut T, self.len) }
+        }
+    }
+
+    /// Moves the inline elements onto the heap.
+    #[cold]
+    fn spill(&mut self) {
+        debug_assert!(!self.spilled);
+        self.heap.reserve(N * 2);
+        let n = self.len;
+        self.len = 0;
+        // SAFETY: the first `n` inline slots are live; ownership moves to
+        // the heap vec and `len` is zeroed so they are not dropped twice.
+        unsafe {
+            let src = self.inline.as_ptr() as *const T;
+            for i in 0..n {
+                self.heap.push(src.add(i).read());
+            }
+        }
+        self.spilled = true;
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> SmallVec<T, N> {
+        SmallVec::new()
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        out.extend(self.as_slice().iter().cloned());
+        out
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> SmallVec<T, N> {
+        let mut out = SmallVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &SmallVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: PartialEq, const N: usize, const M: usize> PartialEq<[T; M]> for SmallVec<T, N> {
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_under_capacity() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v, [0, 1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn spills_and_keeps_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(v.pop(), Some(9));
+    }
+
+    #[test]
+    fn clear_and_take_work() {
+        let mut v: SmallVec<String, 2> = SmallVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        v.push("c".into()); // spills
+        let taken = std::mem::take(&mut v);
+        assert_eq!(taken.len(), 3);
+        assert!(v.is_empty());
+        v.push("d".into());
+        assert_eq!(v[0], "d");
+    }
+
+    #[test]
+    fn drops_inline_elements() {
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(probe.clone());
+            v.push(probe.clone());
+            assert_eq!(Rc::strong_count(&probe), 3);
+        }
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn clone_and_iterate() {
+        let mut v: SmallVec<u32, 3> = (0..3).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        let sum: u32 = (&v).into_iter().sum();
+        assert_eq!(sum, 3);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(w.len(), 3);
+    }
+}
