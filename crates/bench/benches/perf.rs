@@ -206,7 +206,7 @@ fn check_runs(runs: &[RunResult], scale_label: &str, path: &str) -> bool {
             return true;
         }
     }
-    let mut ok = true;
+    let mut regressed: Vec<(&str, f64, f64, f64)> = Vec::new();
     for r in runs {
         let Some(base) = baseline.iter().find(|b| b.name == r.name) else {
             println!("check {:40} no baseline entry; skipped", r.name);
@@ -220,7 +220,7 @@ fn check_runs(runs: &[RunResult], scale_label: &str, path: &str) -> bool {
         let fresh_eps = r.best_events_per_sec();
         let ratio = fresh_eps / base_eps;
         let verdict = if ratio + threshold < 1.0 {
-            ok = false;
+            regressed.push((r.name, fresh_eps, base_eps, ratio));
             "REGRESSED"
         } else {
             "ok"
@@ -230,14 +230,28 @@ fn check_runs(runs: &[RunResult], scale_label: &str, path: &str) -> bool {
             r.name, fresh_eps, base_eps, ratio, verdict
         );
     }
-    if !ok {
+    if !regressed.is_empty() {
         println!(
-            "check: events/sec regressed more than {:.0}% vs {path}; \
-             run with --bless to accept an intentional change",
+            "check: {} of {} run(s) regressed on events/sec beyond the {:.0}% \
+             threshold (CAIS_BENCH_CHECK_THRESHOLD, default 20%):",
+            regressed.len(),
+            runs.len(),
             threshold * 100.0
         );
+        for (name, fresh_eps, base_eps, ratio) in &regressed {
+            println!(
+                "check   {name}: measured {fresh_eps:.0} ev/s vs baseline \
+                 {base_eps:.0} ev/s = {ratio:.2}x (allowed >= {:.2}x)",
+                1.0 - threshold
+            );
+        }
+        println!(
+            "check: baseline is {path}; run with --bless to accept an \
+             intentional change, or raise CAIS_BENCH_CHECK_THRESHOLD for a \
+             noisy host"
+        );
     }
-    ok
+    regressed.is_empty()
 }
 
 fn main() {

@@ -77,6 +77,13 @@ impl CaisLogic {
         self.merge.stats()
     }
 
+    /// Test-only ledger corruption: skews the merge unit's session-open
+    /// tally so audit tests can prove a broken counter is caught.
+    #[doc(hidden)]
+    pub fn audit_poke_sessions_opened(&mut self) {
+        self.merge.audit_poke_sessions_opened();
+    }
+
     fn apply(&mut self, actions: &mut Vec<MergeAction>, ctx: &mut SwitchCtx<Msg>) {
         for action in actions.drain(..) {
             match action {
@@ -232,6 +239,19 @@ impl SwitchLogic<Msg> for CaisLogic {
         self.scratch = out;
         if remain && self.timer_armed.insert(plane) {
             ctx.set_timer(now + self.sweep_interval, key);
+        }
+    }
+
+    fn audit_probe(&self, probe: &mut sim_core::AuditProbe) {
+        self.merge.audit_probe(probe);
+        probe.counter("cais.sync_open_groups", self.sync.open_groups() as u64);
+        probe.counter("cais.sync_releases", self.sync.releases());
+        if probe.is_quiescence() {
+            probe.require_zero(
+                "sync",
+                "quiescence: no groups still waiting for participants",
+                self.sync.open_groups() as u64,
+            );
         }
     }
 

@@ -99,6 +99,12 @@ pub struct MergeStats {
     pub degraded_ports: u64,
     /// Requests forwarded unmerged because their port was degraded.
     pub degraded_bypasses: u64,
+    /// Sessions opened (audit ledger; see [`MergeUnit::audit_probe`]).
+    pub sessions_opened: u64,
+    /// Sessions released after full participation (audit ledger).
+    pub sessions_closed: u64,
+    /// Sessions evicted (LRU, timeout, capacity, or fault; audit ledger).
+    pub sessions_evicted: u64,
 }
 
 impl MergeStats {
@@ -362,6 +368,7 @@ impl MergeUnit {
             last_access: now,
         });
         port.index.insert(addr, h);
+        self.stats.sessions_opened += 1;
         self.stats.loads_forwarded += 1;
         out.push(MergeAction::ForwardLoad {
             waiter,
@@ -541,6 +548,7 @@ impl MergeUnit {
             last_access: now,
         });
         port.index.insert(addr, h);
+        self.stats.sessions_opened += 1;
         if contribs + prior >= full {
             // A successor session of an evicted one just completed.
             out.push(MergeAction::FlushReduce {
@@ -710,6 +718,7 @@ impl MergeUnit {
     }
 
     fn evict_one(stats: &mut MergeStats, port: &mut Port, addr: Addr, out: &mut Vec<MergeAction>) {
+        stats.sessions_evicted += 1;
         let h = port.index.remove(&addr).expect("victim exists");
         let entry = port.sessions.remove(h).expect("releasing live entry");
         if let SessionKind::Reduction {
@@ -741,10 +750,102 @@ impl MergeUnit {
 
     /// Releases a *completed* session (full participation reached).
     fn release(stats: &mut MergeStats, port: &mut Port, addr: Addr, _full: u32) {
+        stats.sessions_closed += 1;
         port.history.remove(&addr);
         let h = port.index.remove(&addr).expect("releasing live entry");
         let entry = port.sessions.remove(h).expect("releasing live entry");
         Self::retire(stats, port, entry);
+    }
+
+    /// Reports the merge table's conservation ledgers to the auditor
+    /// (see `DESIGN.md` §11):
+    ///
+    /// * session conservation — every session ever opened was either
+    ///   released complete, evicted, or is still live;
+    /// * per-port index/slab sync — the address index and the session
+    ///   slab always hold exactly the same sessions;
+    /// * per-port occupancy conservation — the incrementally tracked
+    ///   occupancy equals the sum over live entries, and splits exactly
+    ///   into the reduce/load sub-tallies;
+    /// * participant accounting — a Load-Wait session has exactly one
+    ///   queued waiter per counted request.
+    ///
+    /// At quiescence additionally: zero live sessions (the `history`
+    /// progress map is byte-counted metadata and may legitimately
+    /// outlive its sessions).
+    pub fn audit_probe(&self, probe: &mut sim_core::AuditProbe) {
+        let s = &self.stats;
+        let live: u64 = self.ports.values().map(|p| p.sessions.len() as u64).sum();
+        probe.counter("merge.sessions_opened", s.sessions_opened);
+        probe.counter("merge.sessions_closed", s.sessions_closed);
+        probe.counter("merge.sessions_evicted", s.sessions_evicted);
+        probe.counter("merge.sessions_live", live);
+        probe.counter("merge.entry_faults", s.entry_faults);
+        probe.counter("merge.reduce_contribs", s.reduce_contribs);
+        probe.counter("merge.load_requests", s.load_requests);
+        probe.ledger_with(
+            "merge",
+            "session conservation: opened == closed + evicted + live",
+            s.sessions_opened,
+            s.sessions_closed + s.sessions_evicted + live,
+            || format!("{} port(s) instantiated", self.ports.len()),
+        );
+        for ((plane, gpu), port) in &self.ports {
+            probe.ledger_with(
+                "merge",
+                "index/slab sync: indexed addresses == live sessions",
+                port.index.len() as u64,
+                port.sessions.len() as u64,
+                || format!("port ({plane:?}, {gpu:?})"),
+            );
+            let entry_occ: u64 = port
+                .index
+                .values()
+                .map(|h| {
+                    port.sessions
+                        .get(*h)
+                        .expect("indexed session is live")
+                        .occupancy
+                })
+                .sum();
+            probe.ledger_with(
+                "merge",
+                "occupancy conservation: tracked == sum over live entries",
+                port.occupancy,
+                entry_occ,
+                || format!("port ({plane:?}, {gpu:?})"),
+            );
+            probe.ledger_with(
+                "merge",
+                "occupancy split: reduce + load == total",
+                port.occupancy,
+                port.reduce_occ + port.load_occ,
+                || format!("port ({plane:?}, {gpu:?})"),
+            );
+            for (addr, h) in &port.index {
+                let e = port.sessions.get(*h).expect("indexed session is live");
+                if let SessionKind::LoadWait { waiters } = &e.kind {
+                    probe.ledger_with(
+                        "merge",
+                        "participants: load-wait waiters == counted requests",
+                        e.count as u64,
+                        waiters.len() as u64,
+                        || format!("port ({plane:?}, {gpu:?}), {addr}"),
+                    );
+                }
+            }
+        }
+        if probe.is_quiescence() {
+            probe.require_zero("merge", "quiescence: zero live sessions", live);
+        }
+    }
+
+    /// Test-only corruption hook: bumps the opened-session tally without
+    /// opening a session, so the next audit check must report a `merge`
+    /// session-conservation violation. Never called outside tests.
+    #[doc(hidden)]
+    pub fn audit_poke_sessions_opened(&mut self) {
+        self.stats.sessions_opened += 1;
     }
 
     /// Occupancy and spread accounting shared by eviction and release.

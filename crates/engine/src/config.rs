@@ -2,7 +2,7 @@
 
 use gpu_sim::GpuConfig;
 use noc_sim::FabricConfig;
-use sim_core::{FaultPlan, SimDuration, SimTime};
+use sim_core::{AuditConfig, FaultPlan, SimDuration, SimTime};
 
 /// Configuration of the whole multi-GPU system plus engine knobs.
 #[derive(Debug, Clone)]
@@ -34,6 +34,11 @@ pub struct SystemConfig {
     /// Fault-injection plan; the default injects nothing and leaves every
     /// result byte-identical to a fault-free run.
     pub faults: FaultPlan,
+    /// Conservation-auditor settings. The default enables checking only in
+    /// `audit`-feature builds or after
+    /// [`sim_core::audit::set_force_enabled`] (the harness `--audit`
+    /// flag); auditing is observe-only either way.
+    pub audit: AuditConfig,
 }
 
 impl SystemConfig {
@@ -53,6 +58,7 @@ impl SystemConfig {
             seed: 0xCA15,
             deadline: SimTime::from_ms(10_000),
             faults: FaultPlan::default(),
+            audit: AuditConfig::default(),
         }
     }
 

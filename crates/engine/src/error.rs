@@ -6,7 +6,7 @@
 //! rows) can distinguish a deadlock from a livelock from a run whose
 //! retransmit budget was exhausted by fault injection.
 
-use sim_core::SimTime;
+use sim_core::{AuditReport, SimTime};
 use std::fmt;
 
 /// Diagnostics packaged with a deadlock: what was stuck and where.
@@ -25,13 +25,20 @@ pub struct DeadlockDiag {
     /// Blocked TBs still registered at quiescence (truncated; only set for
     /// the all-kernels-done-but-TBs-blocked variant).
     pub blocked_tbs: Vec<String>,
+    /// Waits-for edges (`waiter -> resource it is stuck on`) across GPUs,
+    /// switch ports and sync groups, truncated. Populated when the audit
+    /// ring is enabled so deadlocks stop being opaque.
+    pub waits_for: Vec<String>,
+    /// Rendered tail of the fabric event ring, oldest first. Empty unless
+    /// auditing was enabled for the run.
+    pub recent_events: Vec<String>,
 }
 
 /// Why a simulation run failed.
 #[derive(Debug, Clone)]
 pub enum SimError {
     /// No pending events while work remains: the program can never finish.
-    Deadlock(DeadlockDiag),
+    Deadlock(Box<DeadlockDiag>),
     /// Simulated time passed the configured deadline: runaway or livelock.
     DeadlineExceeded {
         /// The configured hard wall.
@@ -52,6 +59,10 @@ pub enum SimError {
         /// Total retransmissions over the run.
         retries: u64,
     },
+    /// A conservation ledger failed a cadence or quiescence check: the
+    /// simulator's own bookkeeping is inconsistent and the run's results
+    /// cannot be trusted. Carries the full forensic report.
+    AuditViolation(Box<AuditReport>),
 }
 
 impl fmt::Display for SimError {
@@ -68,14 +79,21 @@ impl fmt::Display for SimError {
                         d.preaccess_waiters,
                         d.throttle_queued,
                         d.kernels,
-                    )
+                    )?;
                 } else {
                     write!(
                         f,
                         "deadlock: TBs still blocked at quiescence: {:?}",
                         d.blocked_tbs
-                    )
+                    )?;
                 }
+                if !d.waits_for.is_empty() {
+                    write!(f, "; waits-for: {:?}", d.waits_for)?;
+                }
+                if !d.recent_events.is_empty() {
+                    write!(f, "; last events: {:?}", d.recent_events)?;
+                }
+                Ok(())
             }
             SimError::DeadlineExceeded {
                 deadline,
@@ -95,6 +113,9 @@ impl fmt::Display for SimError {
                 "fault budget exhausted: {exhausted} packets exceeded their retransmit \
                  budget ({drops} drops, {retries} retries); results model data loss"
             ),
+            SimError::AuditViolation(report) => {
+                write!(f, "audit violation: {report}")
+            }
         }
     }
 }
@@ -107,23 +128,28 @@ mod tests {
 
     #[test]
     fn display_distinguishes_variants() {
-        let dl = SimError::Deadlock(DeadlockDiag {
+        let dl = SimError::Deadlock(Box::new(DeadlockDiag {
             kernels_remaining: 2,
             engine_blocked_tbs: 5,
             preaccess_waiters: vec!["g0/grp1:3".into()],
             throttle_queued: 1,
             kernels: vec!["incomplete k0".into()],
             blocked_tbs: vec![],
-        });
+            waits_for: vec!["tb4@g0 -> tile t7@g1".into()],
+            recent_events: vec!["1.2us arrive.gpu a=9 b=0".into()],
+        }));
         let s = dl.to_string();
         assert!(s.contains("deadlock"));
         assert!(s.contains("2 kernels"));
         assert!(s.contains("g0/grp1:3"));
+        assert!(s.contains("waits-for"));
+        assert!(s.contains("tb4@g0 -> tile t7@g1"));
+        assert!(s.contains("arrive.gpu"));
 
-        let quiesce = SimError::Deadlock(DeadlockDiag {
+        let quiesce = SimError::Deadlock(Box::new(DeadlockDiag {
             blocked_tbs: vec!["tb3".into()],
             ..DeadlockDiag::default()
-        });
+        }));
         assert!(quiesce.to_string().contains("quiescence"));
 
         let dead = SimError::DeadlineExceeded {
@@ -139,5 +165,15 @@ mod tests {
             retries: 27,
         };
         assert!(fault.to_string().contains("fault budget exhausted"));
+
+        let mut probe = sim_core::AuditProbe::new(sim_core::AuditPhase::Quiescence);
+        probe.ledger("fabric", "enqueued == served + queued", 10, 9);
+        let audit = SimError::AuditViolation(Box::new(
+            probe.into_report(SimTime::from_ns(5), vec!["ev".into()]),
+        ));
+        let s = audit.to_string();
+        assert!(s.contains("audit violation"), "{s}");
+        assert!(s.contains("[fabric]"), "{s}");
+        assert!(s.contains("enqueued == served + queued"), "{s}");
     }
 }

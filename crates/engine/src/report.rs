@@ -41,6 +41,12 @@ pub struct ExecReport {
     pub logic_stats: Vec<(String, f64)>,
     /// Remote fetches avoided by the per-GPU tile directory (L2 capture).
     pub deduped_fetches: u64,
+    /// Total semantic reduction contributions delivered to tiles. This is
+    /// determined by the dataflow graph alone (the sum of every reduced
+    /// tile's expected contribution count), so it is invariant across
+    /// lowering strategies and fault plans — the chaos soak's
+    /// semantic-reduction equivalence oracle.
+    pub semantic_contribs: u64,
     /// Spread between the first and last request observed per merged
     /// address, averaged (reported by CAIS logic; `None` otherwise).
     pub mean_request_spread: Option<SimDuration>,
@@ -98,6 +104,7 @@ mod tests {
             kernel_spans: BTreeMap::new(),
             logic_stats: vec![("merge.hits".into(), 42.0)],
             deduped_fetches: 0,
+            semantic_contribs: 0,
             mean_request_spread: None,
             events_processed: 0,
             queue_peak: 0,

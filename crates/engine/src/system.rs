@@ -9,8 +9,8 @@ use gpu_sim::{GpuConfig, GpuEffect, GpuSim, MemOp, MemOpKind, SyncKind};
 use noc_sim::{Delivery, Fabric, SwitchLogic};
 use sim_core::profile::{prof_scope, Subsystem};
 use sim_core::{
-    Addr, DenseMap, DenseSet, FastHash, GpuId, GroupId, KernelId, PlaneId, SimDuration, SimTime,
-    TbId, TileId,
+    Addr, AuditPhase, AuditProbe, DenseMap, DenseSet, FastHash, GpuId, GroupId, KernelId, PlaneId,
+    SimDuration, SimTime, TbId, TileId,
 };
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -72,6 +72,10 @@ pub struct SystemSim<L: SwitchLogic<Msg>> {
     inflight_cais_loads: HashSet<(GpuId, Addr), FastHash>,
 
     deduped_fetches: u64,
+    semantic_contribs: u64,
+
+    /// Fabric event count at the last cadence audit check.
+    last_audit_events: u64,
 
     /// Recycled drain buffers: effects/deliveries are swapped out of the
     /// producers into these instead of `mem::take`-ing a fresh `Vec`
@@ -117,7 +121,10 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
                 GpuSim::new(gpu_cfg, cfg.seed ^ (0x9E37 + i as u64 * 0x1234_5678))
             })
             .collect();
-        let fabric = Fabric::new(cfg.fabric_config(), logic);
+        let mut fabric = Fabric::new(cfg.fabric_config(), logic);
+        if cfg.audit.enabled {
+            fabric.enable_audit_ring(cfg.audit.ring_capacity);
+        }
 
         // Size the dense tables from one program scan; IDs are allocated
         // densely from zero by `IdAlloc`, so `max + 1` is the table extent
@@ -222,10 +229,19 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
             throttle,
             inflight_cais_loads: HashSet::default(),
             deduped_fetches: 0,
+            semantic_contribs: 0,
+            last_audit_events: 0,
             scratch_effects: Vec::new(),
             scratch_deliveries: Vec::new(),
             cfg,
         }
+    }
+
+    /// Test-only access to the fabric, for audit corruption-injection
+    /// tests that deliberately skew a tally before running.
+    #[doc(hidden)]
+    pub fn fabric_mut(&mut self) -> &mut Fabric<Msg, L> {
+        &mut self.fabric
     }
 
     /// Runs the program to completion and full network quiescence.
@@ -317,8 +333,126 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
                 self.fabric.advance(t);
             }
             self.now = t;
+            if self.cfg.audit.enabled {
+                let done = self.fabric.events_processed();
+                if done - self.last_audit_events >= self.cfg.audit.cadence_events {
+                    self.last_audit_events = done;
+                    self.audit_check(AuditPhase::Cadence)?;
+                }
+            }
         }
         self.finish()
+    }
+
+    /// Runs one audit pass over every subsystem; a violated ledger becomes
+    /// [`SimError::AuditViolation`] with the full forensic report.
+    fn audit_check(&self, phase: AuditPhase) -> Result<(), SimError> {
+        let mut probe = AuditProbe::new(phase);
+        self.fabric.audit_probe(&mut probe);
+        self.engine_audit_probe(&mut probe);
+        if probe.has_violations() {
+            return Err(SimError::AuditViolation(Box::new(
+                probe.into_report(self.now, self.fabric.audit_recent_events()),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Engine-owned counters and quiescence requirements: blocked TBs,
+    /// in-flight CAIS loads, throttle credit state, pre-access waiters.
+    fn engine_audit_probe(&self, probe: &mut AuditProbe) {
+        let outstanding: usize = self.throttle.iter().map(|t| t.outstanding).sum();
+        let queued: usize = self.throttle.iter().map(|t| t.queue.len()).sum();
+        let preaccess: usize = self.preaccess_blocked.iter().map(|v| v.len()).sum();
+        probe.counter("engine.blocked_tbs", self.tb_blocked.len() as u64);
+        probe.counter(
+            "engine.inflight_cais_loads",
+            self.inflight_cais_loads.len() as u64,
+        );
+        probe.counter("engine.throttle_outstanding", outstanding as u64);
+        probe.counter("engine.throttle_queued", queued as u64);
+        probe.counter("engine.preaccess_blocked", preaccess as u64);
+        probe.counter("engine.kernels_remaining", self.kernels_remaining as u64);
+        probe.counter("engine.semantic_contribs", self.semantic_contribs);
+        if probe.is_quiescence() {
+            probe.require_zero(
+                "engine",
+                "quiescence: no TBs still blocked on tiles or loads",
+                self.tb_blocked.len() as u64,
+            );
+            probe.require_zero(
+                "engine",
+                "quiescence: no CAIS loads still in flight",
+                self.inflight_cais_loads.len() as u64,
+            );
+            probe.require_zero(
+                "engine",
+                "quiescence: no requests queued behind throttle credits",
+                queued as u64,
+            );
+            probe.require_zero(
+                "engine",
+                "quiescence: no outstanding throttle credits",
+                outstanding as u64,
+            );
+            probe.require_zero(
+                "engine",
+                "quiescence: no TBs blocked on pre-access sync",
+                preaccess as u64,
+            );
+        }
+    }
+
+    /// Builds the waits-for edge list attached to deadlock diagnostics:
+    /// which TB waits on which tile (and whether a fetch is outstanding),
+    /// which GPU/plane pairs have requests stuck behind throttle credits,
+    /// and which GPU/group pairs are blocked on pre-access sync.
+    fn waits_for_edges(&self) -> Vec<String> {
+        const MAX_EDGES: usize = 16;
+        let mut edges = Vec::new();
+        'tiles: for (gi, tiles) in self.tiles.iter().enumerate() {
+            for (tile, entry) in tiles.iter() {
+                if entry.present {
+                    continue;
+                }
+                for &tb in entry.resume_waiters.iter() {
+                    let state = if entry.fetching {
+                        "fetch in flight"
+                    } else {
+                        "no fetch outstanding"
+                    };
+                    edges.push(format!("{tb} -> {tile}@g{gi} ({state})"));
+                    if edges.len() >= MAX_EDGES {
+                        break 'tiles;
+                    }
+                }
+            }
+        }
+        for (i, st) in self.throttle.iter().enumerate() {
+            if st.queue.is_empty() || edges.len() >= MAX_EDGES {
+                continue;
+            }
+            let g = i / self.cfg.n_planes;
+            let p = i % self.cfg.n_planes;
+            edges.push(format!(
+                "g{g} -> plane{p} ({} queued behind {} outstanding credits)",
+                st.queue.len(),
+                st.outstanding
+            ));
+        }
+        let n_groups = self.n_groups.max(1);
+        for (i, tbs) in self.preaccess_blocked.iter().enumerate() {
+            if tbs.is_empty() || edges.len() >= MAX_EDGES {
+                continue;
+            }
+            let g = i / n_groups;
+            let grp = i % n_groups;
+            edges.push(format!(
+                "g{g} -> group{grp} ({} TBs awaiting pre-access release)",
+                tbs.len()
+            ));
+        }
+        edges
     }
 
     fn drain_effects(&mut self) {
@@ -419,6 +553,7 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
 
     fn add_contrib(&mut self, now: SimTime, gpu: GpuId, tile: TileId, n: u32) {
         let expected = self.tile_expected.get(tile).copied().unwrap_or(1);
+        self.semantic_contribs += n as u64;
         let entry = self.tile_entry(gpu, tile);
         entry.contribs += n;
         debug_assert!(
@@ -874,17 +1009,19 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
                 })
                 .take(8)
                 .collect();
-            return Err(SimError::Deadlock(DeadlockDiag {
+            return Err(SimError::Deadlock(Box::new(DeadlockDiag {
                 kernels_remaining: self.kernels_remaining,
                 engine_blocked_tbs: self.tb_blocked.len(),
                 preaccess_waiters: preaccess,
                 throttle_queued: self.throttle.iter().map(|t| t.queue.len()).sum(),
                 kernels: incomplete,
                 blocked_tbs: Vec::new(),
-            }));
+                waits_for: self.waits_for_edges(),
+                recent_events: self.fabric.audit_recent_events(),
+            })));
         }
         if !self.tb_blocked.is_empty() {
-            return Err(SimError::Deadlock(DeadlockDiag {
+            return Err(SimError::Deadlock(Box::new(DeadlockDiag {
                 kernels_remaining: 0,
                 engine_blocked_tbs: self.tb_blocked.len(),
                 preaccess_waiters: Vec::new(),
@@ -896,7 +1033,16 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
                     .take(16)
                     .map(|tb| tb.to_string())
                     .collect(),
-            }));
+                waits_for: self.waits_for_edges(),
+                recent_events: self.fabric.audit_recent_events(),
+            })));
+        }
+        // Mandatory end-of-run quiescence verification: every queue
+        // drained, every slab empty, no orphaned retransmission state.
+        // Runs on the success path precisely so that silent bookkeeping
+        // leaks cannot survive a "passing" run.
+        if self.cfg.audit.enabled {
+            self.audit_check(AuditPhase::Quiescence)?;
         }
         let total = self.now.since(SimTime::ZERO);
         let logic_stats = self.fabric.logic().stats();
@@ -920,6 +1066,7 @@ impl<L: SwitchLogic<Msg>> SystemSim<L> {
             kernel_spans: self.kernel_spans,
             logic_stats,
             deduped_fetches: self.deduped_fetches,
+            semantic_contribs: self.semantic_contribs,
             mean_request_spread,
             events_processed,
             queue_peak,

@@ -1,8 +1,8 @@
 //! CLI to regenerate the paper's tables and figures.
 //!
 //! ```text
-//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|sensitivity|resilience|all]
-//!                  [--smoke] [--jobs N] [--timeout-secs N]
+//! cais-experiments [fig2|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|area|ablations|sensitivity|resilience|chaos|all]
+//!                  [--smoke] [--jobs N] [--timeout-secs N] [--audit]
 //! cais-experiments --profile [--smoke]
 //! ```
 //!
@@ -13,6 +13,13 @@
 //! cells) in its table; `--timeout-secs N` arms a per-job wall-clock
 //! watchdog whose victims become TIMEOUT lines instead. Either makes the
 //! process exit with status 1.
+//!
+//! `--audit` enables the conservation auditor for every run: cadence
+//! ledger checks plus end-of-run quiescence verification (see
+//! [`sim_core::audit`]). Auditing is observe-only — tables are
+//! byte-identical with it on and off — and a violation fails the run with
+//! a forensic report. The `chaos` experiment additionally forces audit on
+//! for its own runs regardless of the flag.
 //!
 //! `--profile` runs the representative workload shapes single-threaded
 //! and prints the simulator's per-subsystem self-profiler breakdown;
@@ -56,6 +63,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if smoke { Scale::Smoke } else { Scale::Paper };
+    if args.iter().any(|a| a == "--audit") {
+        sim_core::audit::set_force_enabled(true);
+    }
     if args.iter().any(|a| a == "--profile") {
         cais_harness::profile::run(scale);
         return;
@@ -97,6 +107,7 @@ fn main() {
         ("ablations", cais_harness::ablations::run),
         ("sensitivity", cais_harness::sensitivity::run),
         ("resilience", cais_harness::resilience::run),
+        ("chaos", cais_harness::chaos::run),
     ];
 
     let run_all = which.contains(&"all");

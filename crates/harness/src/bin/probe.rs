@@ -11,11 +11,12 @@ use sim_core::GpuId;
 fn dump(name: &str, r: &ExecReport) {
     println!("--- {name} ---");
     println!(
-        "total {}  occupancy {:.1}%  link-util {:.1}%  dedup {}",
+        "total {}  occupancy {:.1}%  link-util {:.1}%  dedup {}  semantic-contribs {}",
         r.total,
         r.mean_occupancy() * 100.0,
         r.fabric.mean_utilization() * 100.0,
-        r.deduped_fetches
+        r.deduped_fetches,
+        r.semantic_contribs
     );
     let mut spans: Vec<_> = r
         .kernel_spans

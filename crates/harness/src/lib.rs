@@ -31,6 +31,7 @@
 
 pub mod ablations;
 pub mod area;
+pub mod chaos;
 pub mod fig02;
 pub mod fig11;
 pub mod fig12;

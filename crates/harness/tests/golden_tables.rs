@@ -71,3 +71,26 @@ fn fig14_smoke_matches_golden() {
         "fig14 smoke output drifted from the golden snapshot"
     );
 }
+
+/// The conservation auditor must be observe-only, exactly like the
+/// profiler: with auditing force-enabled at runtime (the `--audit` flag's
+/// mechanism) the fig11 and fig14 smoke tables must match the same golden
+/// bytes. CI also runs this file under `--features audit`, which enables
+/// auditing by default in every run, pinning the cargo-feature path too.
+#[test]
+fn audit_is_observe_only_on_golden_tables() {
+    sim_core::audit::set_force_enabled(true);
+    let fig11 = rendered(cais_harness::fig11::run(Scale::Smoke, 1));
+    let fig14 = rendered(cais_harness::fig14::run(Scale::Smoke, 1));
+    sim_core::audit::set_force_enabled(false);
+    assert_eq!(
+        fig11,
+        include_str!("golden/fig11_smoke.txt"),
+        "fig11 output drifted with the audit enabled"
+    );
+    assert_eq!(
+        fig14,
+        include_str!("golden/fig14_smoke.txt"),
+        "fig14 output drifted with the audit enabled"
+    );
+}

@@ -3,6 +3,7 @@
 use crate::link::{Direction, EnqueueEffect, Link};
 use crate::packet::{Delivery, FlowClass, Hop, Packet, Payload};
 use crate::report::{FabricReport, LinkUsage, ResilienceCounters};
+use sim_core::audit::{AuditProbe, EventRing};
 use sim_core::profile::{prof_scope, Subsystem};
 use sim_core::rng::JitterRng;
 use sim_core::{
@@ -122,6 +123,11 @@ pub trait SwitchLogic<P: Payload> {
     fn stats(&self) -> Vec<(String, f64)> {
         Vec::new()
     }
+
+    /// Reports this logic's conservation ledgers and quiescence
+    /// requirements to the auditor (see [`sim_core::audit`]). Stateless
+    /// logics have nothing to report.
+    fn audit_probe(&self, _probe: &mut AuditProbe) {}
 }
 
 // Covers both `Box<dyn SwitchLogic<P>>` (the thin dyn entry point kept at
@@ -137,6 +143,9 @@ impl<P: Payload, L: SwitchLogic<P> + ?Sized> SwitchLogic<P> for Box<L> {
     }
     fn stats(&self) -> Vec<(String, f64)> {
         (**self).stats()
+    }
+    fn audit_probe(&self, probe: &mut AuditProbe) {
+        (**self).audit_probe(probe);
     }
 }
 
@@ -263,6 +272,27 @@ enum NetEvent<P> {
     Timer { plane: PlaneId, key: u64 },
 }
 
+/// Always-compiled conservation tallies for the fabric's packet ledgers
+/// (see [`sim_core::audit`]): plain integer increments on paths that
+/// already manipulate the counted packet, so they cost nothing
+/// measurable whether auditing is enabled or not.
+#[derive(Debug, Default)]
+struct AuditTally {
+    /// Packets placed on a link queue (injections, switch forwards/emits,
+    /// and retransmission requeues).
+    pkt_enqueued: u64,
+    /// Packets whose final segment left a link (departures).
+    pkt_served: u64,
+    /// Departures turned into arrival events.
+    arrivals_scheduled: u64,
+    /// Arrival events dispatched (switch arrivals + GPU deliveries).
+    arrivals_done: u64,
+    /// Dropped departures put back on their link for retransmission.
+    retx_requeued: u64,
+    /// Dispatches whose timestamp regressed behind the fabric clock.
+    clock_regressions: u64,
+}
+
 /// The interconnect simulator.
 ///
 /// See the crate docs for an end-to-end example.
@@ -281,6 +311,10 @@ pub struct Fabric<P, L> {
     /// Fault-injection state; `None` unless the plan configures link
     /// faults, keeping the fault-free fast path untouched.
     faults: Option<FabricFaults>,
+    /// Conservation tallies (always maintained; checked on demand).
+    audit: AuditTally,
+    /// Bounded forensic event ring; `None` unless auditing is enabled.
+    ring: Option<EventRing>,
 }
 
 impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
@@ -317,7 +351,25 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             now: SimTime::ZERO,
             scratch_actions: Vec::new(),
             faults,
+            audit: AuditTally::default(),
+            ring: None,
         }
+    }
+
+    /// Enables the bounded forensic event ring (recorded per dispatched
+    /// event; rendered into audit and deadlock reports). Observe-only:
+    /// the ring never influences event processing.
+    pub fn enable_audit_ring(&mut self, capacity: usize) {
+        self.ring = Some(EventRing::new(capacity));
+    }
+
+    /// Renders the retained tail of the forensic event ring, oldest
+    /// first; empty when the ring was never enabled.
+    pub fn audit_recent_events(&self) -> Vec<String> {
+        self.ring
+            .as_ref()
+            .map(EventRing::render)
+            .unwrap_or_default()
     }
 
     /// Fabric configuration.
@@ -378,6 +430,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
         let li = self.link_idx(pkt.plane, gpu, dir);
         let vc = pkt.payload.class().vc(self.cfg.traffic_control);
         let bytes = pkt.payload.data_bytes();
+        self.audit.pkt_enqueued += 1;
         match self.links[li].enqueue(vc, pkt, bytes, time, now_settled) {
             EnqueueEffect::Pending => {}
             // Wake the link: serve at `time` (>= now, so causality holds).
@@ -394,6 +447,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     }
 
     fn push_arrival(&mut self, pkt: Packet<P>, arrive_at: SimTime) {
+        self.audit.arrivals_scheduled += 1;
         let ev = match pkt.hop {
             Hop::ToSwitch => NetEvent::ArriveSwitch(pkt),
             Hop::ToGpu => NetEvent::ArriveGpu(pkt),
@@ -408,6 +462,8 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     fn requeue_for_retx(&mut self, li: usize, pkt: Packet<P>, retry_at: SimTime) {
         let vc = pkt.payload.class().vc(self.cfg.traffic_control);
         let bytes = pkt.payload.data_bytes();
+        self.audit.pkt_enqueued += 1;
+        self.audit.retx_requeued += 1;
         self.links[li].requeue_front(vc, pkt, bytes);
         self.links[li].set_serving(true);
         self.push_link_free(li, retry_at);
@@ -419,6 +475,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
             return;
         }
         if let Some((mut pkt, arrive_at)) = self.links[li].finish_burst(now) {
+            self.audit.pkt_served += 1;
             let fate = self
                 .faults
                 .as_mut()
@@ -467,6 +524,7 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
                     }
                 }
                 if let Some((mut pkt, arrive_at)) = out.departed {
+                    self.audit.pkt_served += 1;
                     let fate = self
                         .faults
                         .as_mut()
@@ -525,20 +583,36 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     }
 
     fn dispatch(&mut self, time: SimTime, ev: NetEvent<P>) {
+        if time < self.now {
+            self.audit.clock_regressions += 1;
+        }
         self.now = time;
+        if let Some(ring) = &mut self.ring {
+            let (what, a, b) = match &ev {
+                NetEvent::LinkFree { li, token } => ("link.free", *li as u64, *token),
+                NetEvent::ArriveSwitch(pkt) => ("arrive.switch", pkt.id, pkt.dst.0 as u64),
+                NetEvent::ArriveGpu(pkt) => ("arrive.gpu", pkt.id, pkt.dst.0 as u64),
+                NetEvent::Timer { plane, key } => ("switch.timer", plane.0 as u64, *key),
+            };
+            ring.record(time, what, a, b);
+        }
         match ev {
             NetEvent::LinkFree { li, token } => self.serve_link(li, time, token),
             NetEvent::ArriveSwitch(pkt) => {
+                self.audit.arrivals_done += 1;
                 let plane = pkt.plane;
                 self.run_logic(time, plane, |logic, ctx| logic.on_packet(time, pkt, ctx));
             }
-            NetEvent::ArriveGpu(pkt) => self.deliveries.push(Delivery {
-                time,
-                src: pkt.src,
-                dst: pkt.dst,
-                plane: pkt.plane,
-                payload: pkt.payload,
-            }),
+            NetEvent::ArriveGpu(pkt) => {
+                self.audit.arrivals_done += 1;
+                self.deliveries.push(Delivery {
+                    time,
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    plane: pkt.plane,
+                    payload: pkt.payload,
+                });
+            }
             NetEvent::Timer { plane, key } => {
                 self.run_logic(time, plane, |logic, ctx| logic.on_timer(time, key, ctx));
             }
@@ -635,6 +709,92 @@ impl<P: Payload, L: SwitchLogic<P>> Fabric<P, L> {
     /// without building a full report.
     pub fn resilience_counters(&self) -> Option<&ResilienceCounters> {
         self.faults.as_ref().map(|f| &f.counters)
+    }
+
+    /// Reports the fabric's conservation ledgers to the auditor and
+    /// forwards the probe to the installed switch logic.
+    ///
+    /// Ledgers (see `DESIGN.md` §11):
+    ///
+    /// * every enqueued packet is either still queued on a link or has
+    ///   departed (`enqueued == served + queued`), valid at any event
+    ///   boundary — switch logic may legally absorb or mint packets, so
+    ///   conservation is per link hop, not end to end;
+    /// * every departure became an arrival event or a retransmission
+    ///   requeue (`served == arrivals scheduled + retx requeues`);
+    /// * the fabric clock never ran backwards.
+    ///
+    /// At quiescence additionally: event queue empty, no packet left on
+    /// any link, every scheduled arrival dispatched, deliveries drained,
+    /// and no orphaned retransmission slots.
+    pub fn audit_probe(&self, probe: &mut AuditProbe) {
+        let t = &self.audit;
+        let queued: u64 = self.links.iter().map(|l| l.queue_len() as u64).sum();
+        probe.counter("fabric.pkt_enqueued", t.pkt_enqueued);
+        probe.counter("fabric.pkt_served", t.pkt_served);
+        probe.counter("fabric.arrivals_scheduled", t.arrivals_scheduled);
+        probe.counter("fabric.arrivals_done", t.arrivals_done);
+        probe.counter("fabric.retx_requeued", t.retx_requeued);
+        probe.counter("fabric.queued_now", queued);
+        probe.counter("fabric.events_processed", self.queue.pops());
+        probe.ledger_with(
+            "fabric",
+            "pkt conservation: enqueued == served + queued",
+            t.pkt_enqueued,
+            t.pkt_served + queued,
+            || {
+                let busy = self.links.iter().filter(|l| l.queue_len() > 0).count();
+                format!("{busy} link(s) hold queued packets")
+            },
+        );
+        probe.ledger(
+            "fabric",
+            "departure conservation: served == arrivals scheduled + retx requeues",
+            t.pkt_served,
+            t.arrivals_scheduled + t.retx_requeued,
+        );
+        probe.ledger(
+            "fabric",
+            "monotonic clock: zero dispatch-time regressions",
+            0,
+            t.clock_regressions,
+        );
+        if probe.is_quiescence() {
+            probe.require_zero(
+                "fabric",
+                "quiescence: event queue drained",
+                self.queue.peek_time().is_some() as u64,
+            );
+            probe.require_zero("fabric", "quiescence: no packets queued on links", queued);
+            probe.require_zero(
+                "fabric",
+                "quiescence: deliveries drained",
+                self.deliveries.len() as u64,
+            );
+            probe.ledger(
+                "fabric",
+                "quiescence: every scheduled arrival dispatched",
+                t.arrivals_scheduled,
+                t.arrivals_done,
+            );
+            if let Some(f) = &self.faults {
+                probe.require_zero(
+                    "fabric",
+                    "quiescence: no orphaned retransmission entries",
+                    f.attempts.len() as u64,
+                );
+            }
+        }
+        self.logic.audit_probe(probe);
+    }
+
+    /// Test-only corruption hook: bumps the enqueued-packet tally without
+    /// enqueuing anything, so the next audit check must report a
+    /// `fabric` pkt-conservation violation. Proves the auditor catches
+    /// real bookkeeping bugs; never called outside tests.
+    #[doc(hidden)]
+    pub fn audit_poke_pkt_enqueued(&mut self) {
+        self.audit.pkt_enqueued += 1;
     }
 }
 

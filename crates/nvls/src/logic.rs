@@ -192,6 +192,29 @@ impl SwitchLogic<Msg> for NvlsLogic {
         }
     }
 
+    fn audit_probe(&self, probe: &mut sim_core::AuditProbe) {
+        probe.counter("nvls.multicasts", self.multicasts);
+        probe.counter("nvls.reductions", self.reductions);
+        probe.counter("nvls.pulls", self.pulls);
+        probe.counter(
+            "nvls.reduce_sessions_open",
+            self.reduce_sessions.len() as u64,
+        );
+        probe.counter("nvls.pull_sessions_open", self.pull_sessions.len() as u64);
+        if probe.is_quiescence() {
+            probe.require_zero(
+                "nvls",
+                "quiescence: no reduce session still collecting contributions",
+                self.reduce_sessions.len() as u64,
+            );
+            probe.require_zero(
+                "nvls",
+                "quiescence: no pull session still awaiting fetch responses",
+                self.pull_sessions.len() as u64,
+            );
+        }
+    }
+
     fn stats(&self) -> Vec<(String, f64)> {
         vec![
             ("nvls.multicasts".into(), self.multicasts as f64),

@@ -15,10 +15,11 @@
 //!   allocation order.
 //! * No global state and no wall-clock access anywhere in simulation
 //!   paths; randomness is always an explicitly seeded [`rng::JitterRng`]
-//!   owned by the component that needs it. Two observe-only exceptions
-//!   are documented in place: the label interner ([`intern`]) and the
-//!   feature-gated self-profiler ([`profile`]). Neither can feed a value
-//!   back into simulation state.
+//!   owned by the component that needs it. Three observe-only exceptions
+//!   are documented in place: the label interner ([`intern`]), the
+//!   feature-gated self-profiler ([`profile`]), and the conservation
+//!   auditor ([`audit`]). None of them can feed a value back into
+//!   simulation state.
 //!
 //! # Example
 //!
@@ -34,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bandwidth;
 pub mod fault;
 pub mod ids;
@@ -46,6 +48,7 @@ pub mod smallvec;
 pub mod stats;
 pub mod time;
 
+pub use audit::{AuditConfig, AuditPhase, AuditProbe, AuditReport, EventRing, LedgerViolation};
 pub use bandwidth::Bandwidth;
 pub use fault::{
     DegradeSpec, DownSpec, FaultPlan, MergeFaultSpec, RetxConfig, StragglerSpec, WindowSchedule,

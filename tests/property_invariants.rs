@@ -6,13 +6,18 @@
 //! same case set. Each test sweeps a fixed number of seeded cases and
 //! asserts the invariant on every one.
 
-use cais::core::{merge::Waiter, MergeConfig, MergeUnit};
+use cais::baselines::BaselineStrategy;
+use cais::core::{merge::Waiter, CaisStrategy, MergeConfig, MergeUnit};
+use cais::engine::strategy::execute;
 use cais::engine::{IdAlloc, Program, SystemConfig, SystemSim};
 use cais::gpu_sim::KernelCost;
+use cais::harness::runner::Scale;
+use cais::llm_workload::{sublayer, ModelConfig, SubLayer};
 use cais::noc_sim::{Direction, Fabric, FabricConfig, FlowClass, Payload, PureRouter};
 use cais::nvls::{ring_all_gather, ring_all_reduce, ring_reduce_scatter};
 use cais::sim_core::rng::JitterRng;
 use cais::sim_core::{Addr, EventQueue, GpuId, PlaneId, SimDuration, SimTime, TbId};
+use cais::sim_core::{DegradeSpec, FaultPlan, MergeFaultSpec, StragglerSpec};
 
 #[derive(Debug, Clone)]
 struct Blob(u64);
@@ -200,5 +205,57 @@ fn ring_collectives_move_algorithmic_volume() {
             (0.95..1.15).contains(&ratio),
             "volume off: got {got} expect {expect}"
         );
+    }
+}
+
+/// Every resilience-experiment fault configuration — packet drops,
+/// bandwidth-degradation windows, a straggler GPU, and merge-table entry
+/// faults — passes the conservation audit: cadence ledger checks during
+/// the run and the mandatory quiescence verification at the end, for both
+/// the CAIS and TP-NVLS strategies, across a seeded sweep of fault
+/// timelines.
+#[test]
+fn resilience_configs_pass_quiescence_audit() {
+    let mut rng = JitterRng::seed_from(0xAD17);
+    let model = Scale::Smoke.model(&ModelConfig::llama_7b());
+    for case in 0..8 {
+        let seed = 0xFA17 ^ rng.next_below(1 << 20);
+        let plan = match case % 4 {
+            0 => FaultPlan::default().with_seed(seed).with_drop_rate(1e-2),
+            1 => FaultPlan::default()
+                .with_seed(seed)
+                .with_degrade(DegradeSpec {
+                    factor: 2.0,
+                    period: SimDuration::from_us(10),
+                    duration: SimDuration::from_us(3),
+                }),
+            2 => FaultPlan::default()
+                .with_seed(seed)
+                .with_straggler(StragglerSpec {
+                    gpu: 1,
+                    compute_factor: 1.5,
+                }),
+            _ => FaultPlan::default()
+                .with_seed(seed)
+                .with_merge_faults(MergeFaultSpec {
+                    rate: 0.05,
+                    degrade_threshold: 4,
+                }),
+        };
+        let mut cfg = Scale::Smoke.system();
+        cfg.faults = plan;
+        cfg.audit.enabled = true;
+        // Well below a smoke run's event count, so cadence checks fire
+        // many times mid-run, not just at quiescence.
+        cfg.audit.cadence_events = 2048;
+        let dfg = sublayer(&model, cfg.tp(), SubLayer::L2);
+        for cais in [true, false] {
+            let result = if cais {
+                execute(&CaisStrategy::full(), &dfg, &cfg)
+            } else {
+                execute(&BaselineStrategy::tp_nvls(), &dfg, &cfg)
+            };
+            result.unwrap_or_else(|e| panic!("case {case} (cais={cais}) failed audit or run: {e}"));
+        }
     }
 }
